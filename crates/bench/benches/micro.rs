@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the hot in-memory paths (these measure
+//! host wall time, unlike the table harnesses which report simulated
+//! time): summary serialization, checksums, directory ops, cache
+//! directory lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use highlight::segcache::{EjectPolicy, LineState, SegCache};
+use hl_lfs::dir;
+use hl_lfs::ondisk::{cksum, Finfo, SegSummary};
+use hl_lfs::types::FileKind;
+
+fn bench_cksum(c: &mut Criterion) {
+    let block = vec![0xa5u8; 4096];
+    c.bench_function("cksum 4KB block", |b| b.iter(|| cksum(black_box(&block))));
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut summary = SegSummary::new(123, 42);
+    for i in 0..20 {
+        summary.finfos.push(Finfo {
+            ino: i,
+            version: 1,
+            lastlength: 4096,
+            blocks: (0..10).collect(),
+        });
+    }
+    summary.inode_addrs = (0..8).collect();
+    let words = vec![0u32; summary.data_blocks() + 8];
+    let mut buf = vec![0u8; 4096];
+    c.bench_function("summary encode (20 files, 200 blocks)", |b| {
+        b.iter(|| summary.encode(black_box(&mut buf), black_box(&words)))
+    });
+    summary.encode(&mut buf, &words);
+    c.bench_function("summary decode", |b| {
+        b.iter(|| SegSummary::decode(black_box(&buf)).unwrap())
+    });
+}
+
+fn bench_dir(c: &mut Criterion) {
+    let mut block = vec![0u8; 4096];
+    dir::init_block(&mut block);
+    for i in 0..100 {
+        if !dir::add(&mut block, &format!("file{i:04}"), i + 1, FileKind::Regular).unwrap() {
+            break;
+        }
+    }
+    c.bench_function("dir lookup in full block", |b| {
+        b.iter(|| dir::find(black_box(&block), black_box("file0099")))
+    });
+}
+
+fn bench_cache_dir(c: &mut Criterion) {
+    let mut cache = SegCache::new((0..512).collect(), EjectPolicy::Lru);
+    for i in 0..512u32 {
+        cache
+            .allocate(1_000_000 + i, LineState::Clean, i as u64)
+            .unwrap();
+    }
+    c.bench_function("segment cache lookup (512 lines)", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            cache.lookup(black_box(1_000_256), t)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_cksum,
+    bench_summary,
+    bench_dir,
+    bench_cache_dir
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Table 4: breakdown of the I/O server / migrator elapsed run time.
+//!
+//! "The migration path measurements are divided into time spent in the
+//! Footprint library routines (which includes any media change or seek as
+//! well as transfer to the tertiary storage), time spent in the I/O
+//! server main code (copying from the cache disk to memory), and queuing
+//! delays." Paper: Footprint write 62%, I/O server read 37%, queuing 1%.
+
+use hl_bench::pipeline::{run, PipelineConfig, FOOTPRINT_WRITE, IOSERVER_READ, QUEUING};
+use hl_bench::table::{print_table, Row};
+use hl_footprint::{Jukebox, JukeboxConfig};
+use hl_vdev::{Disk, DiskProfile, ScsiBus};
+
+fn main() {
+    let bus = ScsiBus::new("scsi0");
+    let src = Disk::new(DiskProfile::RZ57, 300_000, Some(bus.clone()));
+    let jukebox = Jukebox::new(JukeboxConfig::hp6300_paper(), Some(bus));
+    let result = run(PipelineConfig {
+        segments: 52,
+        src_disk: src.clone(),
+        staging_disk: src,
+        jukebox,
+        blocks_per_seg: 256,
+        gather_cluster: 8,
+        src_base: 2,
+        staging_base: 200_000,
+        staging_slots: 4,
+        cpu_per_block: 550,
+    });
+    let pcts = result.phases.percentages();
+    let rows = vec![
+        Row {
+            label: "Footprint write".into(),
+            paper: "62%".into(),
+            measured: format!("{:.0}%", pcts.get(FOOTPRINT_WRITE).copied().unwrap_or(0.0)),
+        },
+        Row {
+            label: "I/O server read".into(),
+            paper: "37%".into(),
+            measured: format!("{:.0}%", pcts.get(IOSERVER_READ).copied().unwrap_or(0.0)),
+        },
+        Row {
+            label: "Migrator queuing".into(),
+            paper: "1%".into(),
+            measured: format!("{:.1}%", pcts.get(QUEUING).copied().unwrap_or(0.0)),
+        },
+    ];
+    print_table(
+        "Table 4: migration elapsed-time breakdown",
+        ("phase", "paper", "measured"),
+        &rows,
+    );
+    println!("\n{}", result.phases.report());
+    println!(
+        "Shape checks: Footprint write dominates ({}), queuing negligible ({}).",
+        pcts.get(FOOTPRINT_WRITE).copied().unwrap_or(0.0)
+            > pcts.get(IOSERVER_READ).copied().unwrap_or(100.0),
+        pcts.get(QUEUING).copied().unwrap_or(100.0) < 5.0,
+    );
+    println!(
+        "Delta note: our I/O-server reads run at calibrated RZ57 speed, so the\n\
+         write share is higher than the paper's 62/37 split; the ordering and\n\
+         the negligible-queuing conclusion are preserved."
+    );
+}

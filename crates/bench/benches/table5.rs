@@ -1,0 +1,98 @@
+//! Table 5: raw device measurements.
+//!
+//! "Raw throughput was measured with a set of sequential 1-MB transfers.
+//! Media change measures time from an eject command to a completed read
+//! of one sector on the MO platter."
+
+use hl_bench::table::{print_table, Row};
+use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+use hl_sim::time::{as_secs, throughput_kbs};
+use hl_vdev::{BlockDev, Disk, DiskProfile};
+
+/// Sequential 1 MB transfers over 32 MB, as `dd` would issue them.
+fn raw_rate(profile: DiskProfile, write: bool) -> f64 {
+    let disk = Disk::new(profile, 64 * 256, None);
+    let mb = vec![0u8; 1 << 20];
+    let mut buf = vec![0u8; 1 << 20];
+    let mut t = 0;
+    let total = 32u64;
+    for i in 0..total {
+        let slot = if write {
+            disk.write(t, i * 256, &mb).expect("raw write")
+        } else {
+            // Reads need resident data; stage it untimed first.
+            disk.poke(i * 256, &mb).expect("poke");
+            disk.read(t, i * 256, &mut buf).expect("raw read")
+        };
+        t = slot.end;
+    }
+    throughput_kbs(total << 20, t)
+}
+
+/// Eject-to-ready volume change: swap to another platter and read one
+/// sector.
+fn volume_change_secs() -> f64 {
+    let jb = Jukebox::new(JukeboxConfig::hp6300_paper(), None);
+    let seg = vec![0u8; jb.segment_bytes()];
+    jb.poke_segment(0, 0, &seg).expect("stage");
+    jb.poke_segment(1, 0, &seg).expect("stage");
+    // Load volume 0 first.
+    let mut buf = vec![0u8; jb.segment_bytes()];
+    let s0 = jb.read_segment(0, 0, 0, &mut buf).expect("warm");
+    // Swap to volume 1 (the reader drive holds 0... use the same drive by
+    // writing: simpler to measure the ensure-load + first access delta).
+    let t0 = s0.end;
+    let s1 = jb.read_segment(t0, 1, 0, &mut buf).expect("swap read");
+    // Subtract the 1 MB read to leave eject-to-ready + first access.
+    let read_time = DiskProfile::HP6300_MO.transfer(1 << 20, false);
+    as_secs(s1.end - t0 - read_time)
+}
+
+fn main() {
+    let rows = vec![
+        Row {
+            label: "Raw MO read".into(),
+            paper: "451KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::HP6300_MO, false)),
+        },
+        Row {
+            label: "Raw MO write".into(),
+            paper: "204KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::HP6300_MO, true)),
+        },
+        Row {
+            label: "Raw RZ57 read".into(),
+            paper: "1417KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::RZ57, false)),
+        },
+        Row {
+            label: "Raw RZ57 write".into(),
+            paper: "993KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::RZ57, true)),
+        },
+        Row {
+            label: "Raw RZ58 read".into(),
+            paper: "1491KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::RZ58, false)),
+        },
+        Row {
+            label: "Raw RZ58 write".into(),
+            paper: "1261KB/s".into(),
+            measured: format!("{:.0}KB/s", raw_rate(DiskProfile::RZ58, true)),
+        },
+        Row {
+            label: "Volume change".into(),
+            paper: "13.5s".into(),
+            measured: format!("{:.1}s", volume_change_secs()),
+        },
+    ];
+    print_table(
+        "Table 5: raw device measurements",
+        ("I/O type", "paper", "measured"),
+        &rows,
+    );
+    println!(
+        "\nNote: sequential rates are calibration inputs (profiles take them\n\
+         from this table); the volume change emerges from the robot model."
+    );
+}

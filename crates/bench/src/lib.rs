@@ -1,0 +1,25 @@
+//! Benchmark harnesses reproducing every table and figure of the paper.
+//!
+//! Each table has a `cargo bench` target (plain binaries — they report
+//! *simulated* time, so Criterion's wall-clock statistics would measure
+//! the simulator, not the system):
+//!
+//! | target   | reproduces |
+//! |----------|------------|
+//! | `table2` | Large-object performance (FFS / LFS / HighLight on-disk / in-cache) |
+//! | `table3` | Access delays (first byte + total; cached vs uncached) |
+//! | `table4` | Migration elapsed-time breakdown |
+//! | `table5` | Raw device measurements |
+//! | `table6` | Migrator throughput with/without disk-arm contention |
+//! | `figures`| Figures 1–5 as ASCII renderings of live state |
+//! | `ablation_*` | design-choice studies listed in DESIGN.md |
+//!
+//! Shared machinery lives here: [`rigs`] builds paper-scale device
+//! stacks, [`fsx`] unifies the three filesystems under one trait,
+//! [`pipeline`] is the virtual-time actor pipeline for the concurrent
+//! experiments, and [`table`] prints paper-vs-measured rows.
+
+pub mod fsx;
+pub mod pipeline;
+pub mod rigs;
+pub mod table;

@@ -1,0 +1,208 @@
+//! The uniform block address space (Figure 4, §6.3).
+//!
+//! "Disks are assigned to the bottom of the address space (starting at
+//! block number zero), while tertiary storage is assigned to the top
+//! (starting at the largest block number). Tertiary media are still
+//! addressed with increasing block numbers, however, so that the end of
+//! the first volume is at the largest block number, the end of the second
+//! volume is just below the beginning of the first volume, etc. ...
+//! There will likely be a 'dead zone' between valid disk and tertiary
+//! addresses; attempts to access these blocks results in an error."
+//!
+//! With 32-bit block numbers and 4 KB blocks the whole filesystem is
+//! limited to 16 TB; one segment's worth at the very top is unusable
+//! because of the out-of-band `-1` and the boot-block shift (§6.3).
+
+use hl_lfs::config::AddressMap;
+use hl_lfs::types::{BlockAddr, SegNo};
+
+/// The HighLight address map: secondary segments at the bottom, tertiary
+/// volumes hanging from the top of the 32-bit block space.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformMap {
+    /// First block of segment 0 (after the boot area).
+    pub seg_start: u32,
+    /// Blocks per segment.
+    pub blocks_per_seg: u32,
+    /// Secondary (disk) segments.
+    pub nsegs_disk: u32,
+    /// Tertiary volumes.
+    pub volumes: u32,
+    /// Segment slots per tertiary volume (the *maximum expected*; media
+    /// may fill early, §6.3).
+    pub segs_per_volume: u32,
+}
+
+impl UniformMap {
+    /// Builds the map; panics if disks and tertiary overlap (no dead
+    /// zone would remain).
+    pub fn new(
+        seg_start: u32,
+        blocks_per_seg: u32,
+        nsegs_disk: u32,
+        volumes: u32,
+        segs_per_volume: u32,
+    ) -> UniformMap {
+        let m = UniformMap {
+            seg_start,
+            blocks_per_seg,
+            nsegs_disk,
+            volumes,
+            segs_per_volume,
+        };
+        assert!(
+            m.tertiary_base() >= nsegs_disk,
+            "tertiary address range collides with the disk range"
+        );
+        m
+    }
+
+    /// Total segment numbers representable under the 32-bit block limit.
+    /// The flooring discards the top partial segment, which conveniently
+    /// also contains the out-of-band `0xffff_ffff` block number.
+    pub fn total_segs(&self) -> u32 {
+        (((1u64 << 32) - self.seg_start as u64) / self.blocks_per_seg as u64) as u32
+    }
+
+    /// First tertiary segment number.
+    pub fn tertiary_base(&self) -> u32 {
+        self.total_segs() - self.volumes * self.segs_per_volume
+    }
+
+    /// Segment number of `(volume, slot)`. Volume 0 occupies the topmost
+    /// segments; each later volume sits just below the previous one.
+    pub fn tert_seg(&self, vol: u32, slot: u32) -> SegNo {
+        debug_assert!(vol < self.volumes && slot < self.segs_per_volume);
+        self.total_segs() - (vol + 1) * self.segs_per_volume + slot
+    }
+
+    /// Inverse of [`UniformMap::tert_seg`]: `(volume, slot)` of a
+    /// tertiary segment number.
+    pub fn vol_slot(&self, seg: SegNo) -> Option<(u32, u32)> {
+        let base = self.tertiary_base();
+        if seg < base || seg >= self.total_segs() {
+            return None;
+        }
+        let from_top = self.total_segs() - 1 - seg;
+        let vol = from_top / self.segs_per_volume;
+        let slot = seg - (self.total_segs() - (vol + 1) * self.segs_per_volume);
+        Some((vol, slot))
+    }
+
+    /// `true` if `seg` is in the tertiary range.
+    pub fn is_tertiary(&self, seg: SegNo) -> bool {
+        seg >= self.tertiary_base() && seg < self.total_segs()
+    }
+}
+
+impl AddressMap for UniformMap {
+    fn seg_of(&self, addr: BlockAddr) -> Option<SegNo> {
+        if addr < self.seg_start {
+            return None;
+        }
+        let seg = (addr - self.seg_start) / self.blocks_per_seg;
+        if seg < self.nsegs_disk || self.is_tertiary(seg) {
+            Some(seg)
+        } else {
+            None // the dead zone
+        }
+    }
+
+    fn seg_base(&self, seg: SegNo) -> BlockAddr {
+        self.seg_start + seg * self.blocks_per_seg
+    }
+
+    fn is_secondary(&self, seg: SegNo) -> bool {
+        seg < self.nsegs_disk
+    }
+
+    fn nsegs_secondary(&self) -> u32 {
+        self.nsegs_disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_map() -> UniformMap {
+        // 848 disk segments (one RZ57), 32 platters × 40 segments.
+        UniformMap::new(2, 256, 848, 32, 40)
+    }
+
+    #[test]
+    fn disks_at_bottom_tertiary_at_top() {
+        let m = paper_map();
+        assert_eq!(m.seg_of(2), Some(0));
+        assert!(m.is_secondary(847));
+        let top = m.tert_seg(0, 39);
+        assert_eq!(top, m.total_segs() - 1);
+        // Volume 0's last slot really is "at the largest block number":
+        // its final block is the last usable address below the sentinel.
+        let last_block = m.seg_base(top) + m.blocks_per_seg - 1;
+        assert!(last_block < u32::MAX);
+        assert!(u32::MAX as u64 - last_block as u64 <= m.blocks_per_seg as u64);
+    }
+
+    #[test]
+    fn volumes_descend_from_the_top() {
+        let m = paper_map();
+        // End of volume 1 is just below the beginning of volume 0 (§6.3).
+        assert_eq!(m.tert_seg(1, 39) + 1, m.tert_seg(0, 0));
+        // Within a volume, slots ascend.
+        assert_eq!(m.tert_seg(3, 0) + 5, m.tert_seg(3, 5));
+    }
+
+    #[test]
+    fn vol_slot_round_trips() {
+        let m = paper_map();
+        for vol in [0, 1, 17, 31] {
+            for slot in [0, 1, 39] {
+                let seg = m.tert_seg(vol, slot);
+                assert_eq!(m.vol_slot(seg), Some((vol, slot)), "v{vol} s{slot}");
+                assert!(m.is_tertiary(seg));
+                assert!(!m.is_secondary(seg));
+            }
+        }
+    }
+
+    #[test]
+    fn dead_zone_is_unaddressable() {
+        let m = paper_map();
+        let dead_seg = 848 + 1000; // well past the disks, far below tapes
+        let addr = m.seg_base(dead_seg);
+        assert_eq!(m.seg_of(addr), None);
+        assert_eq!(m.vol_slot(dead_seg), None);
+        // Boot blocks are not in any segment.
+        assert_eq!(m.seg_of(0), None);
+        assert_eq!(m.seg_of(1), None);
+    }
+
+    #[test]
+    fn tertiary_blocks_resolve_to_their_segment() {
+        let m = paper_map();
+        let seg = m.tert_seg(5, 7);
+        let base = m.seg_base(seg);
+        assert_eq!(m.seg_of(base), Some(seg));
+        assert_eq!(m.seg_of(base + 255), Some(seg));
+        assert_eq!(m.seg_of(base + 256), Some(seg + 1));
+    }
+
+    #[test]
+    fn sixteen_terabyte_limit_documented() {
+        // A Metrum-scale map (600 volumes × 14500 segments ≈ 8.7 TB of
+        // tape) still fits alongside a disk farm in the 16 TB space.
+        let m = UniformMap::new(2, 256, 4096, 600, 14_500);
+        assert!(m.tertiary_base() > m.nsegs_disk);
+        let (v, s) = m.vol_slot(m.tert_seg(599, 0)).unwrap();
+        assert_eq!((v, s), (599, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "collides")]
+    fn overlapping_ranges_panic() {
+        // Demands more tertiary segments than the space can hold above
+        // the disks.
+        UniformMap::new(2, 256, 16_000_000, 600, 14_500);
+    }
+}

@@ -1,0 +1,386 @@
+//! The block-map pseudo-device (§6.6, Figure 5).
+//!
+//! "A block cache driver that sends disk requests down to the striping
+//! disk pseudo driver and tertiary storage requests to either the cache
+//! (which then uses the striping driver) or the tertiary storage pseudo
+//! driver." The LFS above issues plain block I/O; this driver "simply
+//! compares the address with a table of component sizes and dispatches to
+//! the underlying device holding the desired block" — a disk, an on-disk
+//! cached copy, or (after a blocking demand fetch) a tertiary volume.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hl_lfs::config::AddressMap;
+use hl_lfs::types::SegNo;
+use hl_sim::time::SimTime;
+use hl_vdev::{BlockDev, DevError, IoSlot, BLOCK_SIZE};
+
+use crate::addr::UniformMap;
+use crate::segcache::{LineState, SegCache};
+use crate::service::TertiaryIo;
+
+/// Where a block range routes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Route {
+    /// Boot area or secondary segment: straight to the disks.
+    Disk,
+    /// Tertiary segment (fetch/cache translation applies).
+    Tertiary(SegNo),
+}
+
+/// The block-map device the HighLight LFS mounts on.
+pub struct BlockMapDev {
+    disks: Rc<dyn BlockDev>,
+    map: UniformMap,
+    tio: Rc<TertiaryIo>,
+    cache: Rc<RefCell<SegCache>>,
+}
+
+impl BlockMapDev {
+    /// Stacks the driver over the disks and the tertiary engine.
+    pub fn new(disks: Rc<dyn BlockDev>, map: UniformMap, tio: Rc<TertiaryIo>) -> BlockMapDev {
+        BlockMapDev {
+            cache: tio.cache(),
+            disks,
+            map,
+            tio,
+        }
+    }
+
+    fn route(&self, block: u64) -> Result<Route, DevError> {
+        if block < self.map.seg_start as u64 {
+            return Ok(Route::Disk); // boot area
+        }
+        if block > u32::MAX as u64 {
+            return Err(DevError::OutOfRange {
+                block,
+                count: 1,
+                capacity: 1 << 32,
+            });
+        }
+        match self.map.seg_of(block as u32) {
+            Some(seg) if self.map.is_secondary(seg) => Ok(Route::Disk),
+            Some(seg) => Ok(Route::Tertiary(seg)),
+            // "Attempts to access these blocks results in an error."
+            None => Err(DevError::OutOfRange {
+                block,
+                count: 1,
+                capacity: 1 << 32,
+            }),
+        }
+    }
+
+    /// Splits `[block, block+count)` into maximal same-route runs.
+    fn runs(&self, block: u64, count: u64) -> Result<Vec<(Route, u64, u64)>, DevError> {
+        let mut out: Vec<(Route, u64, u64)> = Vec::new();
+        let mut b = block;
+        let end = block + count;
+        while b < end {
+            let route = self.route(b)?;
+            let run_end = match route {
+                Route::Disk => {
+                    // Up to the start of the tertiary range (disks are a
+                    // single contiguous low region plus the boot area).
+                    end
+                }
+                Route::Tertiary(seg) => {
+                    // One tertiary segment at a time: each maps to its
+                    // own cache line.
+                    let seg_end = self.map.seg_base(seg) as u64 + self.map.blocks_per_seg as u64;
+                    seg_end.min(end)
+                }
+            };
+            out.push((route, b, run_end - b));
+            b = run_end;
+        }
+        Ok(out)
+    }
+
+    /// Translates a tertiary block to its cache-line disk block, demand
+    /// fetching if needed. Returns `(disk block, ready time)`.
+    fn cache_translate(
+        &self,
+        at: SimTime,
+        seg: SegNo,
+        block: u64,
+        for_write: bool,
+    ) -> Result<(u64, SimTime), DevError> {
+        let line = self.cache.borrow_mut().lookup(seg, at);
+        let (disk_seg, ready) = match line {
+            Some(line) => {
+                if for_write && line.state == LineState::Clean {
+                    // "Data in cached tertiary-resident segments are not
+                    // modified in place" (§4). Staging and sealed
+                    // (DirtyWait) lines are still being assembled or
+                    // relocated and do accept writes.
+                    return Err(DevError::WriteOnceViolation { block });
+                }
+                // A prefetched line may still be filling.
+                (line.disk_seg, at.max(line.ready_at))
+            }
+            None if for_write => {
+                // Writes land only in staging lines the migrator set up.
+                return Err(DevError::Offline);
+            }
+            None => self.tio.demand_fetch(at, seg)?,
+        };
+        let off = block - self.map.seg_base(seg) as u64;
+        Ok((self.map.seg_base(disk_seg) as u64 + off, ready))
+    }
+}
+
+impl BlockDev for BlockMapDev {
+    fn nblocks(&self) -> u64 {
+        1 << 32
+    }
+
+    fn block_size(&self) -> usize {
+        BLOCK_SIZE
+    }
+
+    fn read(&self, at: SimTime, block: u64, buf: &mut [u8]) -> Result<IoSlot, DevError> {
+        let count = (buf.len() / BLOCK_SIZE) as u64;
+        let mut t = at;
+        let start = at;
+        for (route, b, n) in self.runs(block, count)? {
+            let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
+            let hi = lo + (n * BLOCK_SIZE as u64) as usize;
+            match route {
+                Route::Disk => {
+                    let slot = self.disks.read(t, b, &mut buf[lo..hi])?;
+                    t = slot.end;
+                }
+                Route::Tertiary(seg) => {
+                    let (disk_block, ready) = self.cache_translate(t, seg, b, false)?;
+                    let slot = self.disks.read(ready, disk_block, &mut buf[lo..hi])?;
+                    t = slot.end;
+                }
+            }
+        }
+        Ok(IoSlot { start, end: t })
+    }
+
+    fn write(&self, at: SimTime, block: u64, buf: &[u8]) -> Result<IoSlot, DevError> {
+        let count = (buf.len() / BLOCK_SIZE) as u64;
+        let mut t = at;
+        let start = at;
+        for (route, b, n) in self.runs(block, count)? {
+            let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
+            let hi = lo + (n * BLOCK_SIZE as u64) as usize;
+            match route {
+                Route::Disk => {
+                    let slot = self.disks.write(t, b, &buf[lo..hi])?;
+                    t = slot.end;
+                }
+                Route::Tertiary(seg) => {
+                    let (disk_block, ready) = self.cache_translate(t, seg, b, true)?;
+                    let slot = self.disks.write(ready, disk_block, &buf[lo..hi])?;
+                    t = slot.end;
+                }
+            }
+        }
+        Ok(IoSlot { start, end: t })
+    }
+
+    fn peek(&self, block: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        let count = (buf.len() / BLOCK_SIZE) as u64;
+        for (route, b, n) in self.runs(block, count)? {
+            let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
+            let hi = lo + (n * BLOCK_SIZE as u64) as usize;
+            match route {
+                Route::Disk => self.disks.peek(b, &mut buf[lo..hi])?,
+                Route::Tertiary(seg) => {
+                    // Cached copy if present, else straight off the
+                    // medium (recovery tooling; untimed).
+                    let line = self.cache.borrow().peek(seg).copied();
+                    if let Some(line) = line {
+                        let off = b - self.map.seg_base(seg) as u64;
+                        self.disks.peek(
+                            self.map.seg_base(line.disk_seg) as u64 + off,
+                            &mut buf[lo..hi],
+                        )?;
+                    } else {
+                        let (vol, slot) = self.map.vol_slot(seg).ok_or(DevError::Offline)?;
+                        let mut seg_buf = vec![0u8; self.map.blocks_per_seg as usize * BLOCK_SIZE];
+                        self.tio.jukebox().peek_segment(vol, slot, &mut seg_buf)?;
+                        let off =
+                            ((b - self.map.seg_base(seg) as u64) * BLOCK_SIZE as u64) as usize;
+                        buf[lo..hi].copy_from_slice(&seg_buf[off..off + (hi - lo)]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn poke(&self, block: u64, buf: &[u8]) -> Result<(), DevError> {
+        let count = (buf.len() / BLOCK_SIZE) as u64;
+        for (route, b, n) in self.runs(block, count)? {
+            let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
+            let hi = lo + (n * BLOCK_SIZE as u64) as usize;
+            match route {
+                Route::Disk => self.disks.poke(b, &buf[lo..hi])?,
+                Route::Tertiary(seg) => {
+                    let line = self.cache.borrow().peek(seg).copied();
+                    let line = line.ok_or(DevError::Offline)?;
+                    let off = b - self.map.seg_base(seg) as u64;
+                    self.disks
+                        .poke(self.map.seg_base(line.disk_seg) as u64 + off, &buf[lo..hi])?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segcache::EjectPolicy;
+    use crate::tsegfile::TsegTable;
+    use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+    use hl_vdev::{Disk, DiskProfile};
+
+    fn rig() -> (BlockMapDev, Rc<Disk>, Jukebox, UniformMap, Rc<TertiaryIo>) {
+        // 64 disk segments, 4 volumes × 8 slots, 1 MB segments.
+        let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+        let map = UniformMap::new(2, 256, 64, 4, 8);
+        let jb = Jukebox::new(
+            JukeboxConfig {
+                volumes: 4,
+                segments_per_volume: 8,
+                ..JukeboxConfig::hp6300_paper()
+            },
+            None,
+        );
+        // Cache pool: disk segments 50..54.
+        let cache = Rc::new(RefCell::new(SegCache::new(
+            (50..54).collect(),
+            EjectPolicy::Lru,
+        )));
+        let tseg = Rc::new(RefCell::new(TsegTable::new()));
+        let tio = Rc::new(TertiaryIo::new(
+            map,
+            Rc::new(jb.clone()),
+            disk.clone(),
+            cache,
+            tseg,
+        ));
+        let dev = BlockMapDev::new(disk.clone(), map, tio.clone());
+        (dev, disk, jb, map, tio)
+    }
+
+    #[test]
+    fn secondary_blocks_pass_through() {
+        let (dev, disk, _, _, _) = rig();
+        let data = vec![9u8; BLOCK_SIZE];
+        dev.write(0, 100, &data).unwrap();
+        let mut back = vec![0u8; BLOCK_SIZE];
+        disk.peek(100, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn dead_zone_errors() {
+        let (dev, _, _, map, _) = rig();
+        let dead = map.seg_base(64 + 100) as u64; // past the disks
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        assert!(matches!(
+            dev.read(0, dead, &mut buf),
+            Err(DevError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn tertiary_read_demand_fetches_once() {
+        let (dev, _, jb, map, tio) = rig();
+        // Plant a recognizable segment on volume 1, slot 2.
+        let mut seg = vec![0u8; 1 << 20];
+        seg[4096] = 0xcd;
+        jb.poke_segment(1, 2, &seg).unwrap();
+        let tseg = map.tert_seg(1, 2);
+        let addr = map.seg_base(tseg) as u64 + 1;
+
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        let s1 = dev.read(0, addr, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xcd);
+        // Volume swap + MO read + disk write: takes tens of seconds.
+        assert!(s1.end > hl_sim::time::secs(13.5));
+        assert_eq!(tio.stats().demand_fetches, 1);
+
+        // Second read hits the cache: just a disk access.
+        let s2 = dev.read(s1.end, addr, &mut buf).unwrap();
+        assert!(s2.duration() < hl_sim::time::secs(1.0));
+        assert_eq!(tio.stats().demand_fetches, 1);
+        assert_eq!(buf[0], 0xcd);
+    }
+
+    #[test]
+    fn writes_to_non_staging_tertiary_are_rejected() {
+        let (dev, _, jb, map, _) = rig();
+        let seg = vec![0u8; 1 << 20];
+        jb.poke_segment(0, 0, &seg).unwrap();
+        let tseg = map.tert_seg(0, 0);
+        let addr = map.seg_base(tseg) as u64;
+        let data = vec![1u8; BLOCK_SIZE];
+        // Uncached: no staging line exists.
+        assert!(dev.write(0, addr, &data).is_err());
+        // Cached read-only copy: still rejected (no overwrite in place).
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.read(0, addr, &mut buf).unwrap();
+        assert!(matches!(
+            dev.write(0, addr, &data),
+            Err(DevError::WriteOnceViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn staging_line_accepts_writes_and_reads_back() {
+        let (dev, _, _, map, tio) = rig();
+        let tseg = map.tert_seg(2, 0);
+        tio.cache()
+            .borrow_mut()
+            .allocate(tseg, LineState::Staging, 0)
+            .unwrap();
+        let addr = map.seg_base(tseg) as u64;
+        let data = vec![0x7eu8; 4 * BLOCK_SIZE];
+        dev.write(0, addr, &data).unwrap();
+        let mut back = vec![0u8; 4 * BLOCK_SIZE];
+        dev.read(1, addr, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(tio.stats().demand_fetches, 0, "no fetch for a staging hit");
+    }
+
+    #[test]
+    fn reads_spanning_two_tertiary_segments_split() {
+        let (dev, _, jb, map, tio) = rig();
+        let mut seg_a = vec![0u8; 1 << 20];
+        let mut seg_b = vec![0u8; 1 << 20];
+        seg_a[(1 << 20) - BLOCK_SIZE] = 0xaa; // last block of slot 3
+        seg_b[0] = 0xbb; // first block of slot 4
+        jb.poke_segment(1, 3, &seg_a).unwrap();
+        jb.poke_segment(1, 4, &seg_b).unwrap();
+        let last_of_a = map.seg_base(map.tert_seg(1, 3)) as u64 + 255;
+
+        let mut buf = vec![0u8; 2 * BLOCK_SIZE];
+        dev.read(0, last_of_a, &mut buf).unwrap();
+        assert_eq!(buf[0], 0xaa);
+        assert_eq!(buf[BLOCK_SIZE], 0xbb);
+        assert_eq!(tio.stats().demand_fetches, 2);
+    }
+
+    #[test]
+    fn peek_reads_through_without_time_or_caching() {
+        let (dev, _, jb, map, tio) = rig();
+        let mut seg = vec![0u8; 1 << 20];
+        seg[0] = 0x42;
+        jb.poke_segment(3, 1, &seg).unwrap();
+        let addr = map.seg_base(map.tert_seg(3, 1)) as u64;
+        let mut buf = vec![0u8; BLOCK_SIZE];
+        dev.peek(addr, &mut buf).unwrap();
+        assert_eq!(buf[0], 0x42);
+        assert_eq!(tio.stats().demand_fetches, 0);
+        assert!(tio.cache().borrow().is_empty());
+    }
+}

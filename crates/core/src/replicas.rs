@@ -1,0 +1,176 @@
+//! Tertiary segment replicas (§5.4).
+//!
+//! "A variant on this scheme is to maintain several segment replicas on
+//! tertiary storage, and to have the staging code simply read the
+//! 'closest' copy, where close means quickest access — whether that means
+//! seeking on a volume already in a drive, or selecting a volume that
+//! will incur a shorter seek time to the proper segment ... One potential
+//! problem with this approach is the bookkeeping associated with
+//! determining when a tertiary-resident segment contains valid data ...
+//! This problem could be sidestepped simply by not counting the replicas
+//! as live data."
+//!
+//! Exactly that: [`ReplicaSet`] records extra physical homes for a
+//! logical tertiary segment; replicas never appear in the tsegfile's
+//! live accounting, so reclamation logic is untouched. The fetch path
+//! asks [`ReplicaSet::closest`] which copy is cheapest given what is in
+//! the drives.
+
+use std::collections::HashMap;
+
+use hl_footprint::Footprint;
+use hl_lfs::types::SegNo;
+
+use crate::addr::UniformMap;
+
+/// Replica bookkeeping: logical tertiary segment → extra `(vol, slot)`
+/// homes (the primary home is implied by the address map).
+#[derive(Debug, Default)]
+pub struct ReplicaSet {
+    extra: HashMap<SegNo, Vec<(u32, u32)>>,
+}
+
+impl ReplicaSet {
+    /// An empty set.
+    pub fn new() -> ReplicaSet {
+        ReplicaSet::default()
+    }
+
+    /// Records that `seg` also lives at `(vol, slot)`.
+    pub fn add(&mut self, seg: SegNo, vol: u32, slot: u32) {
+        let homes = self.extra.entry(seg).or_default();
+        if !homes.contains(&(vol, slot)) {
+            homes.push((vol, slot));
+        }
+    }
+
+    /// All physical homes of `seg`: the primary first, replicas after.
+    pub fn homes(&self, map: &UniformMap, seg: SegNo) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        if let Some(primary) = map.vol_slot(seg) {
+            out.push(primary);
+        }
+        if let Some(extra) = self.extra.get(&seg) {
+            out.extend(extra.iter().copied());
+        }
+        out
+    }
+
+    /// Picks the cheapest copy to read: a home on an already-loaded
+    /// volume wins; otherwise the primary.
+    pub fn closest(
+        &self,
+        map: &UniformMap,
+        jukebox: &dyn Footprint,
+        seg: SegNo,
+    ) -> Option<(u32, u32)> {
+        let homes = self.homes(map, seg);
+        if homes.is_empty() {
+            return None;
+        }
+        let loaded = jukebox.loaded_volumes();
+        homes
+            .iter()
+            .find(|(vol, _)| loaded.contains(&Some(*vol)))
+            .or_else(|| homes.first())
+            .copied()
+    }
+
+    /// Drops the replica records of a segment (e.g. after the tertiary
+    /// cleaner reclaims it).
+    pub fn forget(&mut self, seg: SegNo) {
+        self.extra.remove(&seg);
+    }
+
+    /// Drops every replica that lives on `vol` (the volume is being
+    /// erased). Returns how many records were dropped.
+    pub fn forget_volume(&mut self, vol: u32) -> usize {
+        let mut dropped = 0;
+        for homes in self.extra.values_mut() {
+            let before = homes.len();
+            homes.retain(|&(v, _)| v != vol);
+            dropped += before - homes.len();
+        }
+        self.extra.retain(|_, homes| !homes.is_empty());
+        dropped
+    }
+
+    /// Number of segments with at least one replica.
+    pub fn replicated_segments(&self) -> usize {
+        self.extra.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_footprint::{Jukebox, JukeboxConfig};
+
+    fn map() -> UniformMap {
+        UniformMap::new(2, 256, 64, 4, 8)
+    }
+
+    #[test]
+    fn primary_home_comes_from_the_address_map() {
+        let m = map();
+        let r = ReplicaSet::new();
+        let seg = m.tert_seg(1, 3);
+        assert_eq!(r.homes(&m, seg), vec![(1, 3)]);
+    }
+
+    #[test]
+    fn replicas_are_deduplicated_and_appended() {
+        let m = map();
+        let mut r = ReplicaSet::new();
+        let seg = m.tert_seg(0, 0);
+        r.add(seg, 2, 5);
+        r.add(seg, 2, 5);
+        r.add(seg, 3, 1);
+        assert_eq!(r.homes(&m, seg), vec![(0, 0), (2, 5), (3, 1)]);
+        assert_eq!(r.replicated_segments(), 1);
+    }
+
+    #[test]
+    fn closest_prefers_a_loaded_volume() {
+        let m = map();
+        let mut r = ReplicaSet::new();
+        let seg = m.tert_seg(0, 0);
+        r.add(seg, 2, 5);
+        let jb = Jukebox::new(
+            JukeboxConfig {
+                volumes: 4,
+                segments_per_volume: 8,
+                ..JukeboxConfig::hp6300_paper()
+            },
+            None,
+        );
+        // Nothing loaded: the primary wins.
+        assert_eq!(r.closest(&m, &jb, seg), Some((0, 0)));
+        // Load volume 2 by touching it: now the replica is closest.
+        let buf = vec![0u8; jb.segment_bytes()];
+        jb.write_segment(0, 2, 0, &buf).expect("load vol 2");
+        assert_eq!(r.closest(&m, &jb, seg), Some((2, 5)));
+        // Loading the primary's volume flips preference back (it is
+        // listed first among loaded homes).
+        let mut out = vec![0u8; jb.segment_bytes()];
+        jb.poke_segment(0, 1, &buf).expect("stage");
+        jb.read_segment(0, 0, 1, &mut out).expect("load vol 0");
+        assert_eq!(r.closest(&m, &jb, seg), Some((0, 0)));
+    }
+
+    #[test]
+    fn forgetting_volumes_prunes_records() {
+        let m = map();
+        let mut r = ReplicaSet::new();
+        let a = m.tert_seg(0, 0);
+        let b = m.tert_seg(1, 1);
+        r.add(a, 2, 0);
+        r.add(a, 3, 0);
+        r.add(b, 2, 1);
+        assert_eq!(r.forget_volume(2), 2);
+        assert_eq!(r.homes(&m, a), vec![(0, 0), (3, 0)]);
+        assert_eq!(r.homes(&m, b), vec![(1, 1)]);
+        r.forget(a);
+        assert_eq!(r.homes(&m, a), vec![(0, 0)]);
+    }
+}

@@ -1,0 +1,528 @@
+//! The service process and I/O server (§6.7), collapsed into one
+//! synchronous engine with full timing.
+//!
+//! In the paper these are two user-level processes: the service process
+//! fields kernel requests (demand fetch, copy-out, ejection) and selects
+//! cache lines; the I/O server moves whole segments between the disk
+//! cache and the tertiary device through the Footprint library. Here the
+//! same steps run inline, each device operation charged to the shared
+//! virtual clock — and the per-phase accounting (Footprint write vs I/O
+//! server disk read vs queuing) is exactly what Table 4 reports.
+//!
+//! For the concurrent experiments (Tables 4 and 6) the engine is driven
+//! by scheduler actors; see [`crate::migrator`] and the bench crate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hl_footprint::Footprint;
+use hl_lfs::config::AddressMap;
+use hl_lfs::types::SegNo;
+use hl_sim::time::SimTime;
+use hl_sim::PhaseTimer;
+use hl_vdev::{BlockDev, DevError};
+
+use crate::addr::UniformMap;
+use crate::replicas::ReplicaSet;
+use crate::segcache::{LineState, SegCache};
+use crate::tsegfile::TsegTable;
+
+/// Phase labels used in the Table 4 breakdown.
+pub mod phase {
+    /// Writing an assembled segment to the tertiary device.
+    pub const FOOTPRINT_WRITE: &str = "footprint write";
+    /// Reading a tertiary segment from the device on a demand fetch.
+    pub const FOOTPRINT_READ: &str = "footprint read";
+    /// The I/O server reading a staged segment off the cache disk.
+    pub const IOSERVER_READ: &str = "io server read";
+    /// Filling a cache line on disk with a fetched segment.
+    pub const CACHE_FILL: &str = "cache fill write";
+    /// Requests waiting in queues.
+    pub const QUEUING: &str = "queuing";
+}
+
+/// A demand-fetch stall notification (§10: "It would be nice if the user
+/// could be notified about a file access which is delayed waiting for a
+/// tertiary storage access. Perhaps the kernel could keep track of a
+/// user notification agent per process, and send a 'hold on' message.").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StallEvent {
+    /// A demand fetch began: the caller will block for a while.
+    HoldOn {
+        /// The tertiary segment being fetched.
+        seg: SegNo,
+        /// When the stall began.
+        at: SimTime,
+    },
+    /// The fetch finished.
+    Resumed {
+        /// The fetched segment.
+        seg: SegNo,
+        /// How long the caller was stalled.
+        stalled_for: SimTime,
+    },
+}
+
+/// The "hold on" notification agent callback type (§10).
+pub type StallNotifier = Box<dyn Fn(StallEvent)>;
+
+/// Cumulative service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SvcStats {
+    /// Demand fetches served.
+    pub demand_fetches: u64,
+    /// Segments copied out to tertiary storage.
+    pub copyouts: u64,
+    /// End-of-medium events handled.
+    pub eom_events: u64,
+    /// Total simulated time spent in demand fetches.
+    pub fetch_time: SimTime,
+    /// Total simulated time spent in copy-outs.
+    pub copyout_time: SimTime,
+}
+
+/// The tertiary I/O engine shared by the block-map device, the migrator,
+/// and the benchmarks.
+pub struct TertiaryIo {
+    /// The uniform address map.
+    pub map: UniformMap,
+    jukebox: Rc<dyn Footprint>,
+    /// The raw disk device under the block map (cache lines live here).
+    disks: Rc<dyn BlockDev>,
+    cache: Rc<RefCell<SegCache>>,
+    tseg: Rc<RefCell<TsegTable>>,
+    phases: RefCell<PhaseTimer>,
+    stats: RefCell<SvcStats>,
+    seg_bytes: usize,
+    /// Replica homes for tertiary segments (§5.4 variant).
+    replicas: RefCell<ReplicaSet>,
+    /// Optional "hold on" notification agent (§10).
+    notifier: RefCell<Option<StallNotifier>>,
+    /// Extra copies written per copy-out (0 = no replication).
+    replicate: std::cell::Cell<u32>,
+}
+
+impl TertiaryIo {
+    /// Wires the engine together.
+    pub fn new(
+        map: UniformMap,
+        jukebox: Rc<dyn Footprint>,
+        disks: Rc<dyn BlockDev>,
+        cache: Rc<RefCell<SegCache>>,
+        tseg: Rc<RefCell<TsegTable>>,
+    ) -> TertiaryIo {
+        let seg_bytes = jukebox.segment_bytes();
+        assert_eq!(
+            seg_bytes as u32 % hl_vdev::BLOCK_SIZE as u32,
+            0,
+            "segment size must be block-aligned"
+        );
+        assert_eq!(
+            seg_bytes as u32,
+            map.blocks_per_seg * hl_vdev::BLOCK_SIZE as u32,
+            "jukebox and filesystem disagree on segment size"
+        );
+        TertiaryIo {
+            map,
+            jukebox,
+            disks,
+            cache,
+            tseg,
+            phases: RefCell::new(PhaseTimer::new()),
+            stats: RefCell::new(SvcStats::default()),
+            seg_bytes,
+            replicas: RefCell::new(ReplicaSet::new()),
+            replicate: std::cell::Cell::new(0),
+            notifier: RefCell::new(None),
+        }
+    }
+
+    /// Installs the per-process "hold on" notification agent (§10).
+    pub fn set_stall_notifier(&self, f: StallNotifier) {
+        *self.notifier.borrow_mut() = Some(f);
+    }
+
+    fn notify(&self, event: StallEvent) {
+        if let Some(f) = &*self.notifier.borrow() {
+            f(event);
+        }
+    }
+
+    /// Sets how many replica copies each copy-out writes (§5.4: "perhaps
+    /// having the Footprint server keep two copies of everything written
+    /// to it", §10's reliability suggestion).
+    pub fn set_replication(&self, copies: u32) {
+        self.replicate.set(copies);
+    }
+
+    /// The replica table (the tertiary cleaner prunes it).
+    pub fn replicas(&self) -> &RefCell<ReplicaSet> {
+        &self.replicas
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> Rc<RefCell<SegCache>> {
+        self.cache.clone()
+    }
+
+    /// The shared tertiary segment table.
+    pub fn tseg(&self) -> Rc<RefCell<TsegTable>> {
+        self.tseg.clone()
+    }
+
+    /// The jukebox handle.
+    pub fn jukebox(&self) -> Rc<dyn Footprint> {
+        self.jukebox.clone()
+    }
+
+    /// The raw disk device beneath the block map.
+    pub fn disks_handle(&self) -> Rc<dyn BlockDev> {
+        self.disks.clone()
+    }
+
+    /// Phase timing snapshot (Table 4).
+    pub fn phases(&self) -> PhaseTimer {
+        self.phases.borrow().clone()
+    }
+
+    /// Adds queue-wait time (recorded by the actor harnesses).
+    pub fn charge_queuing(&self, dt: SimTime) {
+        self.phases.borrow_mut().add(phase::QUEUING, dt);
+    }
+
+    /// Resets phase timing and counters.
+    pub fn reset_accounting(&self) {
+        *self.phases.borrow_mut() = PhaseTimer::new();
+        *self.stats.borrow_mut() = SvcStats::default();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SvcStats {
+        *self.stats.borrow()
+    }
+
+    /// Demand-fetches `tert_seg` into the cache (§6.2): "the service
+    /// process finds a reusable segment on disk and directs the I/O
+    /// process to fetch the necessary tertiary-resident segment into that
+    /// segment." Returns the cache line's disk segment and the completion
+    /// time.
+    pub fn demand_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<(SegNo, SimTime), DevError> {
+        if let Some(line) = self.cache.borrow_mut().lookup(tert_seg, at) {
+            return Ok((line.disk_seg, at));
+        }
+        // Read the "closest" copy: a replica on a loaded volume beats the
+        // primary behind a media swap (§5.4).
+        let (vol, slot) = self
+            .replicas
+            .borrow()
+            .closest(&self.map, &*self.jukebox, tert_seg)
+            .ok_or(DevError::Offline)?;
+        self.notify(StallEvent::HoldOn { seg: tert_seg, at });
+        let (disk_seg, _ejected) = self
+            .cache
+            .borrow_mut()
+            .allocate(tert_seg, LineState::Clean, at)
+            .ok_or(DevError::Offline)?;
+        // Ejected clean lines need no I/O: they never hold the sole copy
+        // of a block (§4).
+
+        // I/O server: tertiary → memory.
+        let mut buf = vec![0u8; self.seg_bytes];
+        let r = match self.jukebox.read_segment(at, vol, slot, &mut buf) {
+            Ok(r) => r,
+            Err(e) => {
+                self.cache.borrow_mut().eject(tert_seg);
+                return Err(e);
+            }
+        };
+        self.phases
+            .borrow_mut()
+            .add(phase::FOOTPRINT_READ, r.duration());
+        // Memory → raw cache disk ("direct access avoids ... pollution of
+        // the block buffer cache", §6.7).
+        let base = self.map.seg_base(disk_seg) as u64;
+        let w = self.disks.write(r.end, base, &buf)?;
+        self.phases
+            .borrow_mut()
+            .add(phase::CACHE_FILL, w.duration());
+
+        self.cache.borrow_mut().set_ready_at(tert_seg, w.end);
+        self.notify(StallEvent::Resumed {
+            seg: tert_seg,
+            stalled_for: w.end - at,
+        });
+        let mut stats = self.stats.borrow_mut();
+        stats.demand_fetches += 1;
+        stats.fetch_time += w.end - at;
+        Ok((disk_seg, w.end))
+    }
+
+    /// Asynchronous prefetch fill (§6.2: the service/I/O processes "may
+    /// choose unilaterally to ... insert new segments into the cache").
+    /// The tertiary read books the drive from `at`; the cache-disk fill
+    /// is modelled as overlapped background work, so the line's
+    /// `ready_at` reflects both but the caller does not block. Readers
+    /// of the line wait until `ready_at` (the block-map enforces it).
+    pub fn prefetch_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, DevError> {
+        if self.cache.borrow_mut().lookup(tert_seg, at).is_some() {
+            return Ok(at);
+        }
+        let (vol, slot) = self
+            .replicas
+            .borrow()
+            .closest(&self.map, &*self.jukebox, tert_seg)
+            .ok_or(DevError::Offline)?;
+        let (disk_seg, _ejected) = self
+            .cache
+            .borrow_mut()
+            .allocate(tert_seg, LineState::Clean, at)
+            .ok_or(DevError::Offline)?;
+        let mut buf = vec![0u8; self.seg_bytes];
+        let r = match self.jukebox.read_segment(at, vol, slot, &mut buf) {
+            Ok(r) => r,
+            Err(e) => {
+                self.cache.borrow_mut().eject(tert_seg);
+                return Err(e);
+            }
+        };
+        self.phases
+            .borrow_mut()
+            .add(phase::FOOTPRINT_READ, r.duration());
+        // Fill the line without booking the arm horizon (the background
+        // write interleaves with foreground reads in reality; booking a
+        // future slot on the scalar-horizon arm resource would instead
+        // stall all earlier foreground I/O). The fill's duration still
+        // delays the line's readiness.
+        let base = self.map.seg_base(disk_seg) as u64;
+        self.disks.poke(base, &buf)?;
+        let fill = hl_sim::time::transfer_time(self.seg_bytes as u64, 993.0);
+        let ready = r.end + fill;
+        self.cache.borrow_mut().set_ready_at(tert_seg, ready);
+        let mut stats = self.stats.borrow_mut();
+        stats.demand_fetches += 1;
+        stats.fetch_time += ready - at;
+        Ok(ready)
+    }
+
+    /// Copies a sealed (`DirtyWait`) staging line out to its tertiary
+    /// segment. On success the line becomes a clean cached copy.
+    ///
+    /// # Errors
+    ///
+    /// [`DevError::EndOfMedium`] if the volume filled early (compression
+    /// shortfall): the volume is marked full and the line left in
+    /// `DirtyWait`; the migrator relocates it (§6.3).
+    pub fn copy_out(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, DevError> {
+        let line = self
+            .cache
+            .borrow()
+            .peek(tert_seg)
+            .copied()
+            .ok_or(DevError::Offline)?;
+        assert_eq!(
+            line.state,
+            LineState::DirtyWait,
+            "copy_out of a line that is not sealed"
+        );
+        let (vol, slot) = self.map.vol_slot(tert_seg).ok_or(DevError::Offline)?;
+
+        // I/O server: cache disk → memory.
+        let mut buf = vec![0u8; self.seg_bytes];
+        let base = self.map.seg_base(line.disk_seg) as u64;
+        let r = self.disks.read(at, base, &mut buf)?;
+        self.phases
+            .borrow_mut()
+            .add(phase::IOSERVER_READ, r.duration());
+
+        // Memory → tertiary, via Footprint.
+        match self.jukebox.write_segment(r.end, vol, slot, &buf) {
+            Ok(w) => {
+                self.phases
+                    .borrow_mut()
+                    .add(phase::FOOTPRINT_WRITE, w.duration());
+                self.cache
+                    .borrow_mut()
+                    .set_state(tert_seg, LineState::Clean);
+                {
+                    let mut tseg = self.tseg.borrow_mut();
+                    let u = tseg.seg_mut(tert_seg);
+                    u.avail_bytes = self.seg_bytes as u32;
+                    let v = tseg.volume_mut(vol);
+                    v.next_slot = v.next_slot.max(slot + 1);
+                }
+                let end = self.write_replicas(w.end, tert_seg, vol, &buf);
+                let mut stats = self.stats.borrow_mut();
+                stats.copyouts += 1;
+                stats.copyout_time += end - at;
+                Ok(end)
+            }
+            Err(DevError::EndOfMedium { written }) => {
+                let mut tseg = self.tseg.borrow_mut();
+                tseg.volume_mut(vol).full = true;
+                self.stats.borrow_mut().eom_events += 1;
+                Err(DevError::EndOfMedium { written })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the configured replica copies of a freshly copied-out
+    /// segment onto *other* volumes' free slots. Replicas are never
+    /// counted as live data (§5.4), so only the volume cursor moves.
+    fn write_replicas(
+        &self,
+        at: SimTime,
+        tert_seg: SegNo,
+        primary_vol: u32,
+        buf: &[u8],
+    ) -> SimTime {
+        let copies = self.replicate.get();
+        let mut t = at;
+        let mut written = 0;
+        if copies == 0 {
+            return t;
+        }
+        for vol in 0..self.map.volumes {
+            if written >= copies || vol == primary_vol {
+                continue;
+            }
+            let slot = {
+                let mut tseg = self.tseg.borrow_mut();
+                let v = tseg.volume_mut(vol);
+                if v.full || v.next_slot >= self.map.segs_per_volume {
+                    continue;
+                }
+                let s = v.next_slot;
+                v.next_slot += 1;
+                s
+            };
+            match self.jukebox.write_segment(t, vol, slot, buf) {
+                Ok(w) => {
+                    t = w.end;
+                    self.phases
+                        .borrow_mut()
+                        .add(phase::FOOTPRINT_WRITE, w.duration());
+                    self.replicas.borrow_mut().add(tert_seg, vol, slot);
+                    written += 1;
+                }
+                Err(DevError::EndOfMedium { .. }) => {
+                    self.tseg.borrow_mut().volume_mut(vol).full = true;
+                }
+                Err(_) => {}
+            }
+        }
+        t
+    }
+
+    /// Ejects a clean cached line ("read-only cached segments ... may be
+    /// discarded from the cache at any time", §4). No-op for absent
+    /// lines; pinned lines are refused.
+    pub fn eject(&self, tert_seg: SegNo) -> bool {
+        let mut cache = self.cache.borrow_mut();
+        match cache.peek(tert_seg) {
+            Some(line) if line.state == LineState::Clean => {
+                cache.eject(tert_seg);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segcache::{EjectPolicy, SegCache};
+    use crate::UniformMap;
+    use hl_footprint::{Jukebox, JukeboxConfig};
+    use hl_vdev::{Disk, DiskProfile};
+    use std::rc::Rc;
+
+    fn rig(cache_lines: u32) -> (Rc<TertiaryIo>, Jukebox, UniformMap) {
+        let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+        let map = UniformMap::new(2, 256, 64, 4, 8);
+        let jb = Jukebox::new(
+            JukeboxConfig {
+                volumes: 4,
+                segments_per_volume: 8,
+                ..JukeboxConfig::hp6300_paper()
+            },
+            None,
+        );
+        let cache = Rc::new(RefCell::new(SegCache::new(
+            (40..40 + cache_lines).collect(),
+            EjectPolicy::Lru,
+        )));
+        let tseg = Rc::new(RefCell::new(TsegTable::new()));
+        let tio = Rc::new(TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg));
+        (tio, jb, map)
+    }
+
+    #[test]
+    fn demand_fetch_hits_do_not_refetch() {
+        let (tio, jb, map) = rig(4);
+        let seg = map.tert_seg(0, 0);
+        jb.poke_segment(0, 0, &vec![7u8; 1 << 20]).unwrap();
+        let (_, t1) = tio.demand_fetch(0, seg).unwrap();
+        assert!(t1 > 0);
+        let (_, t2) = tio.demand_fetch(t1, seg).unwrap();
+        assert_eq!(t2, t1, "cache hit must be free");
+        assert_eq!(tio.stats().demand_fetches, 1);
+    }
+
+    #[test]
+    fn fetch_phase_accounting_splits_read_and_fill() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(1, 3, &vec![1u8; 1 << 20]).unwrap();
+        tio.demand_fetch(0, map.tert_seg(1, 3)).unwrap();
+        let phases = tio.phases();
+        // MO read of 1 MB ≈ 2.3 s; disk fill ≈ 1.05 s.
+        assert!(phases.get(phase::FOOTPRINT_READ) > 2_000_000);
+        assert!(phases.get(phase::CACHE_FILL) > 900_000);
+        assert_eq!(phases.get(phase::FOOTPRINT_WRITE), 0);
+    }
+
+    #[test]
+    fn eject_refuses_pinned_lines() {
+        let (tio, _, map) = rig(2);
+        let seg = map.tert_seg(0, 0);
+        tio.cache()
+            .borrow_mut()
+            .allocate(seg, LineState::Staging, 0)
+            .unwrap();
+        assert!(!tio.eject(seg), "staging line must not be ejectable");
+        tio.cache().borrow_mut().set_state(seg, LineState::Clean);
+        assert!(tio.eject(seg));
+        assert!(!tio.eject(seg), "already gone");
+    }
+
+    #[test]
+    fn failed_fetch_releases_the_line() {
+        let (tio, jb, map) = rig(1);
+        jb.fail_volume(2);
+        let seg = map.tert_seg(2, 0);
+        assert!(tio.demand_fetch(0, seg).is_err());
+        // The single line is free again for other segments.
+        jb.poke_segment(3, 0, &vec![2u8; 1 << 20]).unwrap();
+        assert!(tio.demand_fetch(0, map.tert_seg(3, 0)).is_ok());
+    }
+
+    #[test]
+    fn copyout_requires_a_sealed_line() {
+        let (tio, _, map) = rig(2);
+        let seg = map.tert_seg(0, 0);
+        // Absent line: Offline.
+        assert!(tio.copy_out(0, seg).is_err());
+    }
+
+    #[test]
+    fn reset_accounting_clears_everything() {
+        let (tio, jb, map) = rig(2);
+        jb.poke_segment(0, 1, &vec![1u8; 1 << 20]).unwrap();
+        tio.demand_fetch(0, map.tert_seg(0, 1)).unwrap();
+        assert!(tio.stats().demand_fetches > 0);
+        tio.reset_accounting();
+        assert_eq!(tio.stats().demand_fetches, 0);
+        assert_eq!(tio.phases().total(), 0);
+    }
+}

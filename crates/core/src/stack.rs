@@ -1,0 +1,198 @@
+//! Renderers that regenerate the paper's structural figures from live
+//! system state.
+//!
+//! Figures 1–5 of the paper are diagrams of data structures and the
+//! software stack, not measurement plots; the faithful way to
+//! "regenerate" them is to draw the *actual* state of a running instance.
+
+use hl_lfs::ondisk::seg_flags;
+use hl_lfs::types::UNASSIGNED;
+use hl_lfs::Lfs;
+
+use crate::fs::HighLight;
+use hl_lfs::config::AddressMap;
+
+/// Figure 1: the base LFS data layout — per-segment state plus the log
+/// structure, straight from the (in-core, checkpoint-authoritative)
+/// segment usage table.
+pub fn render_fig1(fs: &Lfs) -> String {
+    let mut out = String::new();
+    out.push_str("LFS data layout (Figure 1)\n");
+    out.push_str("seg  state      live-bytes  summary\n");
+    for seg in 0..fs.nsegs() {
+        let u = fs.seg_usage(seg);
+        let state = seg_state(u.flags);
+        out.push_str(&format!(
+            "{seg:>4} {state:<10} {:>10}  {}\n",
+            u.live_bytes,
+            if u.flags & seg_flags::ACTIVE != 0 {
+                "<- tail of log"
+            } else if u.is_clean() {
+                "(empty segment)"
+            } else {
+                "log contents"
+            }
+        ));
+    }
+    out
+}
+
+/// Figure 2: the storage hierarchy — disk farm, migration path, jukebox.
+pub fn render_fig2(hl: &HighLight) -> String {
+    let map = hl.map();
+    let cache = hl.cache();
+    let cache = cache.borrow();
+    format!(
+        "The storage hierarchy (Figure 2)\n\
+         \n\
+         reads; initial writes\n\
+                 |\n\
+         +-------v---------------------------+\n\
+         |            file system            |\n\
+         +-----------------------------------+\n\
+         |  disk farm: {:>6} segments       |\n\
+         |  segment cache: {:>3}/{:<3} lines     |\n\
+         +------------------+----------------+\n\
+                 caching ^  |  automigration\n\
+                         |  v\n\
+         +-----------------------------------+\n\
+         |  tertiary jukebox(es):            |\n\
+         |  {:>4} volumes x {:>5} segments    |\n\
+         +-----------------------------------+\n",
+        map.nsegs_disk,
+        cache.len(),
+        cache.capacity(),
+        map.volumes,
+        map.segs_per_volume,
+    )
+}
+
+/// Figure 3: HighLight's data layout — disk segments (including cache
+/// lines, `C`) and the touched tertiary segments from the tsegfile.
+pub fn render_fig3(hl: &mut HighLight) -> String {
+    let mut out = String::new();
+    out.push_str("HighLight data layout (Figure 3)\n");
+    out.push_str("-- secondary (in ifile) --\n");
+    out.push_str("seg  state      live-bytes  cache-tag\n");
+    let nsegs = hl.lfs().nsegs();
+    for seg in 0..nsegs {
+        let u = hl.lfs().seg_usage(seg);
+        let tag = if u.cache_tag == UNASSIGNED {
+            "-".to_string()
+        } else {
+            format!("t{}", u.cache_tag)
+        };
+        out.push_str(&format!(
+            "{seg:>4} {:<10} {:>10}  {tag}\n",
+            seg_state(u.flags),
+            u.live_bytes
+        ));
+    }
+    out.push_str("-- tertiary (in tsegfile) --\n");
+    out.push_str("seg        vol slot  live-bytes  cached\n");
+    let map = hl.map();
+    let tseg = hl.tseg();
+    let cache = hl.cache();
+    for (seg, u) in tseg.borrow().touched() {
+        let (vol, slot) = map.vol_slot(seg).unwrap_or((u32::MAX, u32::MAX));
+        let cached = match cache.borrow().peek(seg) {
+            Some(line) => format!("disk seg {} ({:?})", line.disk_seg, line.state),
+            None => "-".to_string(),
+        };
+        out.push_str(&format!(
+            "{seg:>10} {vol:>3} {slot:>4}  {:>10}  {cached}\n",
+            u.live_bytes
+        ));
+    }
+    out
+}
+
+/// Figure 4: allocation of block addresses to devices.
+pub fn render_fig4(hl: &HighLight) -> String {
+    let map = hl.map();
+    let disk_end = map.seg_base(map.nsegs_disk);
+    let tert_start = map.seg_base(map.tertiary_base());
+    format!(
+        "Allocation of block addresses to devices (Figure 4)\n\
+         \n\
+         block 0x{:08x}  +--------------------------+\n\
+         ..               |  boot blocks             |\n\
+         block 0x{:08x}  |  disk segments 0..{}      \n\
+         ..               |  (disk farm, ascending)  |\n\
+         block 0x{:08x}  +--------------------------+\n\
+         ..               |  DEAD ZONE (invalid)     |\n\
+         block 0x{:08x}  +--------------------------+\n\
+         ..               |  tertiary: vol {} lowest  \n\
+         ..               |  ... volumes descend ... |\n\
+         ..               |  vol 0 at the top        |\n\
+         block 0x{:08x}  +--------------------------+\n\
+         block 0xffffffff  (out-of-band UNASSIGNED)\n",
+        0,
+        map.seg_start,
+        map.nsegs_disk,
+        disk_end,
+        tert_start,
+        map.volumes - 1,
+        map.seg_base(map.total_segs() - 1) + map.blocks_per_seg - 1,
+    )
+}
+
+/// Figure 5: the layered architecture, annotated with live statistics.
+pub fn render_fig5(hl: &HighLight) -> String {
+    let tio = hl.tio();
+    let s = tio.stats();
+    let cache = hl.cache();
+    let cache = cache.borrow();
+    format!(
+        "The layered architecture (Figure 5)\n\
+         \n\
+         user space      | regular cleaner | migration \"cleaner\"\n\
+         ----------------+-----------------+--------------------\n\
+         kernel space    |        HighLight LFS               \n\
+                         |             |                      \n\
+                         |   block map driver & segment cache \n\
+                         |   ({} lines, {} hits / {} misses)  \n\
+                         |      |                |            \n\
+                         | concatenated     tertiary driver   \n\
+                         | disk driver           |            \n\
+         ----------------+------------------+----------------\n\
+         user space      |   demand server / I/O server      \n\
+                         |   ({} fetches, {} copyouts)       \n\
+                         |        Footprint                  \n\
+                         |           |                       \n\
+                         |   tertiary device(s)              \n",
+        cache.capacity(),
+        cache.stats().hits,
+        cache.stats().misses,
+        s.demand_fetches,
+        s.copyouts,
+    )
+}
+
+fn seg_state(flags: u32) -> &'static str {
+    if flags & seg_flags::CACHE != 0 {
+        "cached"
+    } else if flags & seg_flags::ACTIVE != 0 {
+        "dirty,act"
+    } else if flags & seg_flags::DIRTY != 0 {
+        "dirty"
+    } else if flags & seg_flags::NOSTORE != 0 {
+        "no-store"
+    } else {
+        "clean"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn state_labels_cover_flags() {
+        use super::seg_state;
+        use hl_lfs::ondisk::seg_flags as f;
+        assert_eq!(seg_state(0), "clean");
+        assert_eq!(seg_state(f::DIRTY), "dirty");
+        assert_eq!(seg_state(f::DIRTY | f::ACTIVE), "dirty,act");
+        assert_eq!(seg_state(f::CACHE), "cached");
+        assert_eq!(seg_state(f::NOSTORE), "no-store");
+    }
+}

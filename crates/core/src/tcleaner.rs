@@ -1,0 +1,203 @@
+//! The tertiary volume cleaner (§10 future work, implemented here).
+//!
+//! "To avoid eventual exhaustion of tertiary storage, HighLight will need
+//! a tertiary cleaning mechanism that examines tertiary volumes, a task
+//! that would best be done with at least two reader/writer devices to
+//! avoid having to swap between the being-cleaned volume and the
+//! destination volume." And from §6.5: "HighLight will eventually have a
+//! cleaner for tertiary storage that will clean whole media at a time to
+//! minimize the media swap and seek latencies."
+//!
+//! The cleaner picks the volume with the lowest live-byte density, walks
+//! its written segments, re-migrates the live blocks into fresh staging
+//! segments (which land on the *current* writing volume — a different
+//! one, so the two-drive jukebox serves reads and writes concurrently),
+//! then erases the victim volume for reuse.
+
+use hl_lfs::error::{LfsError, Result};
+use hl_lfs::migrate::MigrateItem;
+use hl_lfs::types::{LBlock, SegNo, UNASSIGNED};
+use hl_vdev::BLOCK_SIZE;
+
+use crate::fs::HighLight;
+use hl_lfs::config::AddressMap;
+
+/// What one tertiary cleaning pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TCleanReport {
+    /// The volume reclaimed.
+    pub volume: u32,
+    /// Segments scanned on the victim volume.
+    pub segments_scanned: u32,
+    /// Live blocks re-migrated.
+    pub blocks_moved: u64,
+    /// Live inodes re-migrated.
+    pub inodes_moved: u64,
+}
+
+/// Picks the volume with the least live data among the *full* (or
+/// exhausted-cursor) volumes; cleaning a volume still being filled would
+/// fight the migrator. Returns `None` if no volume qualifies.
+pub fn select_victim_volume(hl: &mut HighLight) -> Option<u32> {
+    let map = hl.map();
+    let tseg = hl.tseg();
+    let tseg = tseg.borrow();
+    let mut best: Option<(u64, u32)> = None;
+    for vol in 0..map.volumes {
+        let v = tseg.volume(vol);
+        let exhausted = v.full || v.next_slot >= map.segs_per_volume;
+        if !exhausted {
+            continue;
+        }
+        let live = tseg.volume_live(&map, vol);
+        if best.map(|(l, _)| live < l).unwrap_or(true) {
+            best = Some((live, vol));
+        }
+    }
+    best.map(|(_, vol)| vol)
+}
+
+/// Cleans one tertiary volume end to end.
+///
+/// # Errors
+///
+/// [`LfsError::NoSpace`] if no staging room exists for the survivors.
+pub fn clean_volume(hl: &mut HighLight, vol: u32) -> Result<TCleanReport> {
+    let map = hl.map();
+    let mut report = TCleanReport {
+        volume: vol,
+        ..Default::default()
+    };
+    // Close the volume so re-migrated survivors cannot land back on it.
+    hl.tseg().borrow_mut().volume_mut(vol).full = true;
+
+    // Walk the volume's written segments, collecting live items.
+    let mut survivors: Vec<MigrateItem> = Vec::new();
+    for slot in 0..map.segs_per_volume {
+        let seg = map.tert_seg(vol, slot);
+        let u = hl.tseg().borrow().seg(seg);
+        if u.write_serial == 0 && u.live_bytes == 0 {
+            continue; // never written
+        }
+        report.segments_scanned += 1;
+        if u.live_bytes == 0 {
+            continue; // fully dead
+        }
+        // Fetch the segment (through the cache: "any cleaning of
+        // tertiary-resident segments would be done directly with the
+        // tertiary-resident copy", §6.2 — the cache line *is* that copy
+        // brought within reach) and identify live blocks.
+        let now = hl.clock().now();
+        let (_disk_seg, end) = hl.tio().demand_fetch(now, seg).map_err(LfsError::Dev)?;
+        hl.clock().advance_to(end);
+        let live = scan_live(hl, seg)?;
+        survivors.extend(live);
+    }
+
+    // Re-migrate survivors to fresh staging segments (on the writing
+    // volume, served by the other drive).
+    if !survivors.is_empty() {
+        let stats = hl.migrate_items_opts(&survivors, None, true)?;
+        let mut tail = Default::default();
+        hl.seal_staging(&mut tail)?;
+        report.blocks_moved = stats.blocks;
+        report.inodes_moved = stats.inodes;
+    }
+
+    // Eject any cache lines over the victim volume, then erase it.
+    for slot in 0..map.segs_per_volume {
+        let seg = map.tert_seg(vol, slot);
+        hl.eject(seg);
+        let tseg = hl.tseg();
+        let mut tseg = tseg.borrow_mut();
+        let u = tseg.seg_mut(seg);
+        debug_assert_eq!(u.live_bytes, 0, "tertiary segment {seg} still live");
+        *u = hl_lfs::ondisk::SegUse::clean(0);
+    }
+    {
+        let tseg = hl.tseg();
+        let mut tseg = tseg.borrow_mut();
+        let v = tseg.volume_mut(vol);
+        v.full = false;
+        v.next_slot = 0;
+    }
+    // Replica records on the erased volume (and of its segments) die.
+    hl.tio().replicas().borrow_mut().forget_volume(vol);
+    for slot in 0..map.segs_per_volume {
+        hl.tio()
+            .replicas()
+            .borrow_mut()
+            .forget(map.tert_seg(vol, slot));
+    }
+    hl.tio()
+        .jukebox()
+        .erase_volume(vol)
+        .map_err(LfsError::Dev)?;
+    Ok(report)
+}
+
+/// Scans a cached tertiary segment for blocks/inodes that are still
+/// current (`bmapv`-style validation, like the disk cleaner's). Shared
+/// by the volume cleaner and §5.4's on-fetch rearrangement.
+pub fn live_items_of_segment(hl: &mut HighLight, seg: SegNo) -> Result<Vec<MigrateItem>> {
+    scan_live(hl, seg)
+}
+
+fn scan_live(hl: &mut HighLight, seg: SegNo) -> Result<Vec<MigrateItem>> {
+    use hl_lfs::ondisk::{Dinode, SegSummary};
+    let map = hl.map();
+    let base = map.seg_base(seg);
+    let bps = map.blocks_per_seg;
+    // Read the whole segment image through the block map (cache hit —
+    // timed, like the disk cleaner's big sequential read).
+    let image = {
+        let lfs = hl.lfs();
+        lfs.read_segment_raw(base, bps)?
+    };
+    let summary_bytes = hl.lfs().superblock().summary_bytes as usize;
+
+    let mut items = Vec::new();
+    let mut off = 0u32;
+    let mut last_serial = None;
+    while off + 1 < bps {
+        let sum_off = off as usize * BLOCK_SIZE;
+        let Ok((summary, _)) = SegSummary::decode(&image[sum_off..sum_off + summary_bytes]) else {
+            break;
+        };
+        if last_serial.map(|s| summary.serial <= s).unwrap_or(false) {
+            break;
+        }
+        last_serial = Some(summary.serial);
+        let mut blk_idx = 0u32;
+        for fi in &summary.finfos {
+            for &lbn in &fi.blocks {
+                let addr = base + off + 1 + blk_idx;
+                blk_idx += 1;
+                let lb = LBlock::decode(lbn as i64);
+                let lfs = hl.lfs();
+                if lfs.inode_version(fi.ino) == Some(fi.version)
+                    && lfs.bmap_public(fi.ino, lb)? == addr
+                {
+                    items.push(MigrateItem::Block(fi.ino, lb));
+                }
+            }
+        }
+        for &iaddr in &summary.inode_addrs {
+            let boff = (iaddr - base) as usize * BLOCK_SIZE;
+            for slot in 0..hl_lfs::types::INODES_PER_BLOCK {
+                let d = Dinode::decode(&image[boff + slot * hl_lfs::types::DINODE_SIZE..]);
+                if d.nlink == 0 || d.inumber == 0 {
+                    continue;
+                }
+                let lfs = hl.lfs();
+                if lfs.inode_daddr(d.inumber) == Some(iaddr) {
+                    items.push(MigrateItem::Inode(d.inumber));
+                }
+            }
+            blk_idx += 1;
+        }
+        off += 1 + blk_idx;
+    }
+    let _ = UNASSIGNED;
+    Ok(items)
+}

@@ -1,0 +1,941 @@
+//! The FFS filesystem object and its operations.
+//!
+//! On-media layout:
+//!
+//! ```text
+//! block 0              superblock
+//! blocks 1..1+IT       inode table (32 dinodes per block)
+//! blocks 1+IT..1+IT+BM block bitmap
+//! blocks data_start..  file data and indirect blocks
+//! ```
+//!
+//! Unlike the LFS, every logical block is "assigned a location upon
+//! allocation, and each subsequent operation (read or write) is directed
+//! to that location" (§3) — updates happen in place, and write
+//! performance comes from write-behind plus elevator-sorted, coalesced
+//! flushes.
+
+use std::rc::Rc;
+
+use hl_lfs::buffer::BufCache;
+use hl_lfs::config::CpuCosts;
+use hl_lfs::dir;
+use hl_lfs::error::{LfsError, Result};
+use hl_lfs::fs::Stat;
+use hl_lfs::ondisk::{self, Dinode};
+use hl_lfs::types::{
+    BlockAddr, FileKind, Ino, LBlock, DINODE_SIZE, INODES_PER_BLOCK, MAX_DATA_BLOCKS, NDIRECT,
+    NPTR, ROOT_INO, UNASSIGNED,
+};
+use hl_sim::time::SimTime;
+use hl_sim::Clock;
+use hl_vdev::{BlockDev, BLOCK_SIZE};
+
+use crate::alloc::BlockMap;
+
+/// FFS magic number.
+const FFS_MAGIC: u64 = 0x4647_4c49_4646_5331;
+
+/// FFS tunables.
+#[derive(Clone)]
+pub struct FfsConfig {
+    /// Shared virtual clock.
+    pub clock: Clock,
+    /// CPU cost model (defaults to [`CpuCosts::ffs`]).
+    pub cpu: CpuCosts,
+    /// Buffer cache capacity in bytes.
+    pub buffer_cache_bytes: u64,
+    /// Maximum contiguous blocks per clustered I/O — the paper sets 16
+    /// (64 KB transfers, §7.1).
+    pub maxcontig: u32,
+    /// Inode table capacity.
+    pub ninodes: u32,
+    /// Largest coalesced run the flush elevator writes at once. Writes
+    /// coalesce beyond `maxcontig` because the flusher chains adjacent
+    /// clusters (this is why Table 2's FFS writes run at media speed).
+    pub max_flush_run: u32,
+}
+
+impl FfsConfig {
+    /// The paper's benchmark configuration.
+    pub fn paper(clock: Clock) -> FfsConfig {
+        FfsConfig {
+            clock,
+            cpu: CpuCosts::ffs(),
+            buffer_cache_bytes: 3_355_443,
+            maxcontig: 16,
+            ninodes: 4096,
+            max_flush_run: 256,
+        }
+    }
+}
+
+/// The Fast File System.
+pub struct Ffs {
+    dev: Rc<dyn BlockDev>,
+    cfg: FfsConfig,
+    itable: Vec<Dinode>,
+    itable_dirty: Vec<bool>,
+    bmap_blocks: u32,
+    itable_blocks: u32,
+    blocks: BlockMap,
+    cache: BufCache,
+    /// Per-file sequential read-ahead hint (clustering only engages on
+    /// detected-sequential access).
+    seq_hint: std::collections::HashMap<Ino, u32>,
+}
+
+impl Ffs {
+    fn data_start(nblocks: u64, ninodes: u32) -> (u32, u32, u64) {
+        let itable_blocks = ninodes.div_ceil(INODES_PER_BLOCK as u32);
+        let bmap_blocks = (nblocks.div_ceil(8 * BLOCK_SIZE as u64)) as u32;
+        let data_start = 1 + itable_blocks as u64 + bmap_blocks as u64;
+        (itable_blocks, bmap_blocks, data_start)
+    }
+
+    /// Formats a fresh FFS on `dev`.
+    pub fn mkfs(dev: Rc<dyn BlockDev>, cfg: FfsConfig) -> Result<()> {
+        let nblocks = dev.nblocks();
+        let (itable_blocks, bmap_blocks, data_start) = Self::data_start(nblocks, cfg.ninodes);
+        if data_start + 16 > nblocks {
+            return Err(LfsError::Invalid("device too small for an FFS"));
+        }
+        let mut sb = vec![0u8; BLOCK_SIZE];
+        ondisk::put_u64(&mut sb, 0, FFS_MAGIC);
+        ondisk::put_u32(&mut sb, 8, cfg.ninodes);
+        ondisk::put_u32(&mut sb, 12, cfg.maxcontig);
+        ondisk::put_u64(&mut sb, 16, nblocks);
+        dev.poke(0, &sb)?;
+
+        let mut fs = Ffs {
+            itable: vec![Dinode::empty(); cfg.ninodes as usize],
+            itable_dirty: vec![false; cfg.ninodes as usize],
+            bmap_blocks,
+            itable_blocks,
+            blocks: BlockMap::new(nblocks, data_start),
+            cache: BufCache::new(cfg.buffer_cache_bytes, BLOCK_SIZE),
+            dev,
+            cfg,
+            seq_hint: std::collections::HashMap::new(),
+        };
+        // Root directory.
+        let now = fs.now();
+        let root = &mut fs.itable[ROOT_INO as usize];
+        root.mode = FileKind::Directory.mode() | 0o755;
+        root.nlink = 2;
+        root.inumber = ROOT_INO;
+        root.gen = 1;
+        root.size = BLOCK_SIZE as u64;
+        root.atime = now;
+        root.mtime = now;
+        root.ctime = now;
+        fs.itable_dirty[ROOT_INO as usize] = true;
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        dir::init_block(&mut blk);
+        dir::add(&mut blk, ".", ROOT_INO, FileKind::Directory)?;
+        dir::add(&mut blk, "..", ROOT_INO, FileKind::Directory)?;
+        let addr = fs.blocks.alloc(None).ok_or(LfsError::NoSpace)? as BlockAddr;
+        fs.itable[ROOT_INO as usize].db[0] = addr;
+        fs.itable[ROOT_INO as usize].blocks = 1;
+        fs.cache.insert(
+            ROOT_INO,
+            LBlock::Data(0),
+            blk.into_boxed_slice(),
+            true,
+            addr,
+        );
+        fs.sync()?;
+        Ok(())
+    }
+
+    /// Mounts an existing FFS (clean unmount assumed).
+    pub fn mount(dev: Rc<dyn BlockDev>, cfg: FfsConfig) -> Result<Ffs> {
+        let mut sb = vec![0u8; BLOCK_SIZE];
+        dev.peek(0, &mut sb)?;
+        if ondisk::get_u64(&sb, 0) != FFS_MAGIC {
+            return Err(LfsError::Corrupt("bad FFS magic"));
+        }
+        let ninodes = ondisk::get_u32(&sb, 8);
+        let nblocks = ondisk::get_u64(&sb, 16);
+        let (itable_blocks, bmap_blocks, data_start) = Self::data_start(nblocks, ninodes);
+
+        // Inode table.
+        let mut itable = Vec::with_capacity(ninodes as usize);
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        for bi in 0..itable_blocks {
+            dev.peek(1 + bi as u64, &mut blk)?;
+            for slot in 0..INODES_PER_BLOCK {
+                if itable.len() >= ninodes as usize {
+                    break;
+                }
+                itable.push(Dinode::decode(&blk[slot * DINODE_SIZE..]));
+            }
+        }
+        // Bitmap.
+        let mut raw = vec![0u8; bmap_blocks as usize * BLOCK_SIZE];
+        for bi in 0..bmap_blocks {
+            dev.peek(
+                1 + itable_blocks as u64 + bi as u64,
+                &mut raw[bi as usize * BLOCK_SIZE..(bi as usize + 1) * BLOCK_SIZE],
+            )?;
+        }
+        let blocks = BlockMap::decode(nblocks, data_start, &raw);
+
+        Ok(Ffs {
+            itable_dirty: vec![false; itable.len()],
+            itable,
+            bmap_blocks,
+            itable_blocks,
+            blocks,
+            cache: BufCache::new(cfg.buffer_cache_bytes, BLOCK_SIZE),
+            dev,
+            cfg,
+            seq_hint: std::collections::HashMap::new(),
+        })
+    }
+
+    fn now(&self) -> u64 {
+        self.cfg.clock.now()
+    }
+
+    fn charge_cpu(&self, us: SimTime) {
+        if us > 0 {
+            self.cfg.clock.advance_by(us);
+        }
+    }
+
+    fn read_dev(&mut self, addr: BlockAddr, count: u32) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; count as usize * BLOCK_SIZE];
+        let slot = self.dev.read(self.cfg.clock.now(), addr as u64, &mut buf)?;
+        self.cfg.clock.advance_to(slot.end);
+        Ok(buf)
+    }
+
+    fn write_dev(&mut self, addr: BlockAddr, buf: &[u8]) -> Result<()> {
+        let slot = self.dev.write(self.cfg.clock.now(), addr as u64, buf)?;
+        self.cfg.clock.advance_to(slot.end);
+        Ok(())
+    }
+
+    /// The shared clock.
+    pub fn clock_handle(&self) -> Clock {
+        self.cfg.clock.clone()
+    }
+
+    /// Drops clean cached blocks (benchmark cache flushing, §7.1).
+    pub fn drop_caches(&mut self) {
+        self.cache.drop_clean();
+    }
+
+    /// Free data blocks remaining.
+    pub fn free_blocks(&self) -> u64 {
+        self.blocks.free_blocks()
+    }
+
+    // -----------------------------------------------------------------
+    // Inodes and block mapping.
+    // -----------------------------------------------------------------
+
+    fn inode(&self, ino: Ino) -> Result<&Dinode> {
+        let d = self.itable.get(ino as usize).ok_or(LfsError::NotFound)?;
+        if d.nlink == 0 {
+            return Err(LfsError::NotFound);
+        }
+        Ok(d)
+    }
+
+    fn inode_mut(&mut self, ino: Ino) -> Result<&mut Dinode> {
+        self.itable_dirty[ino as usize] = true;
+        let d = self
+            .itable
+            .get_mut(ino as usize)
+            .ok_or(LfsError::NotFound)?;
+        Ok(d)
+    }
+
+    fn ialloc(&mut self, kind: FileKind) -> Result<Ino> {
+        let ino = self
+            .itable
+            .iter()
+            .enumerate()
+            .skip(ROOT_INO as usize + 1)
+            .find(|(_, d)| d.nlink == 0)
+            .map(|(i, _)| i as Ino)
+            .ok_or(LfsError::NoInodes)?;
+        let now = self.now();
+        let d = &mut self.itable[ino as usize];
+        let gen = d.gen + 1;
+        *d = Dinode::empty();
+        d.mode = kind.mode() | 0o644;
+        d.nlink = 1;
+        d.inumber = ino;
+        d.gen = gen;
+        d.atime = now;
+        d.mtime = now;
+        d.ctime = now;
+        self.itable_dirty[ino as usize] = true;
+        Ok(ino)
+    }
+
+    /// Resolves `(ino, lb)` to a device address, `UNASSIGNED` for holes.
+    fn bmap(&mut self, ino: Ino, lb: LBlock) -> Result<BlockAddr> {
+        match lb {
+            LBlock::Data(l) => {
+                let l = l as u64;
+                if l < NDIRECT as u64 {
+                    Ok(self.inode(ino)?.db[l as usize])
+                } else if l < (NDIRECT + NPTR) as u64 {
+                    self.ptr_in(ino, LBlock::Ind1, (l - NDIRECT as u64) as usize)
+                } else if l < MAX_DATA_BLOCKS {
+                    let off = l - (NDIRECT + NPTR) as u64;
+                    self.ptr_in(
+                        ino,
+                        LBlock::Ind2Child((off / NPTR as u64) as u32),
+                        (off % NPTR as u64) as usize,
+                    )
+                } else {
+                    Err(LfsError::FileTooBig)
+                }
+            }
+            LBlock::Ind1 => Ok(self.inode(ino)?.ib[0]),
+            LBlock::Ind2 => Ok(self.inode(ino)?.ib[1]),
+            LBlock::Ind2Child(k) => self.ptr_in(ino, LBlock::Ind2, k as usize),
+        }
+    }
+
+    fn ptr_in(&mut self, ino: Ino, parent: LBlock, idx: usize) -> Result<BlockAddr> {
+        let paddr = self.bmap(ino, parent)?;
+        if paddr == UNASSIGNED && self.cache.get(ino, parent).is_none() {
+            return Ok(UNASSIGNED);
+        }
+        self.ensure_block(ino, parent)?;
+        let buf = self.cache.get(ino, parent).expect("ensured");
+        Ok(ondisk::get_u32(&buf.data, idx * 4))
+    }
+
+    /// Allocates (if needed) the block for `(ino, lb)` and returns its
+    /// address. Allocation assigns the location permanently (§3).
+    fn alloc_bmap(&mut self, ino: Ino, lb: LBlock) -> Result<BlockAddr> {
+        let existing = self.bmap(ino, lb)?;
+        if existing != UNASSIGNED {
+            return Ok(existing);
+        }
+        // Contiguity hint: one past the previous logical block.
+        let hint = match lb {
+            LBlock::Data(l) if l > 0 => {
+                let prev = self.bmap(ino, LBlock::Data(l - 1))?;
+                (prev != UNASSIGNED).then(|| prev as u64 + 1)
+            }
+            _ => None,
+        };
+        let addr = self.blocks.alloc(hint).ok_or(LfsError::NoSpace)? as BlockAddr;
+        // Install the pointer.
+        match lb {
+            LBlock::Data(l) => {
+                let l = l as u64;
+                if l < NDIRECT as u64 {
+                    self.inode_mut(ino)?.db[l as usize] = addr;
+                } else if l < (NDIRECT + NPTR) as u64 {
+                    self.set_ptr_in(ino, LBlock::Ind1, (l - NDIRECT as u64) as usize, addr)?;
+                } else {
+                    let off = l - (NDIRECT + NPTR) as u64;
+                    self.set_ptr_in(
+                        ino,
+                        LBlock::Ind2Child((off / NPTR as u64) as u32),
+                        (off % NPTR as u64) as usize,
+                        addr,
+                    )?;
+                }
+            }
+            LBlock::Ind1 => self.inode_mut(ino)?.ib[0] = addr,
+            LBlock::Ind2 => self.inode_mut(ino)?.ib[1] = addr,
+            LBlock::Ind2Child(k) => self.set_ptr_in(ino, LBlock::Ind2, k as usize, addr)?,
+        }
+        self.inode_mut(ino)?.blocks += 1;
+        Ok(addr)
+    }
+
+    fn set_ptr_in(&mut self, ino: Ino, parent: LBlock, idx: usize, addr: BlockAddr) -> Result<()> {
+        // Materialize the parent indirect block (allocating it if new).
+        let paddr = self.bmap(ino, parent)?;
+        if paddr == UNASSIGNED && self.cache.get(ino, parent).is_none() {
+            let new_paddr = self.alloc_bmap(ino, parent)?;
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for i in 0..NPTR {
+                ondisk::put_u32(&mut blk, i * 4, UNASSIGNED);
+            }
+            self.cache
+                .insert(ino, parent, blk.into_boxed_slice(), true, new_paddr);
+        } else {
+            self.ensure_block(ino, parent)?;
+        }
+        let buf = self.cache.get_mut(ino, parent).expect("materialized");
+        ondisk::put_u32(&mut buf.data, idx * 4, addr);
+        buf.dirty = true;
+        Ok(())
+    }
+
+    /// Brings a block into the cache, with clustered read-ahead on
+    /// misses.
+    fn ensure_block(&mut self, ino: Ino, lb: LBlock) -> Result<()> {
+        if self.cache.get(ino, lb).is_some() {
+            return Ok(());
+        }
+        let addr = self.bmap(ino, lb)?;
+        if addr == UNASSIGNED {
+            self.cache.insert(
+                ino,
+                lb,
+                vec![0u8; BLOCK_SIZE].into_boxed_slice(),
+                false,
+                UNASSIGNED,
+            );
+            return Ok(());
+        }
+        let mut run = 1u32;
+        if let LBlock::Data(l0) = lb {
+            let sequential = l0 == 0 || self.seq_hint.get(&ino) == Some(&l0);
+            let limit = if sequential { self.cfg.maxcontig } else { 1 };
+            let size_blocks = self.inode(ino)?.size.div_ceil(BLOCK_SIZE as u64);
+            while run < limit && ((l0 + run) as u64) < size_blocks {
+                let next = LBlock::Data(l0 + run);
+                if self.cache.get(ino, next).is_some() || self.bmap(ino, next)? != addr + run {
+                    break;
+                }
+                run += 1;
+            }
+        }
+        let buf = self.read_dev(addr, run)?;
+        self.charge_cpu(self.cfg.cpu.read_block * run as u64);
+        if let LBlock::Data(l0) = lb {
+            for i in 0..run {
+                let s = i as usize * BLOCK_SIZE;
+                self.cache.insert(
+                    ino,
+                    LBlock::Data(l0 + i),
+                    buf[s..s + BLOCK_SIZE].to_vec().into_boxed_slice(),
+                    false,
+                    addr + i,
+                );
+            }
+        } else {
+            self.cache
+                .insert(ino, lb, buf.into_boxed_slice(), false, addr);
+        }
+        Ok(())
+    }
+
+    /// Flushes write-behind data if the cache is over capacity.
+    fn balance(&mut self) -> Result<()> {
+        if !self.cache.over_capacity() {
+            return Ok(());
+        }
+        self.cache.shrink_to_capacity();
+        if self.cache.over_capacity() {
+            self.flush_data()?;
+            self.cache.shrink_to_capacity();
+        }
+        Ok(())
+    }
+
+    /// Elevator flush: sorts dirty blocks by device address and writes
+    /// coalesced runs.
+    fn flush_data(&mut self) -> Result<()> {
+        let mut dirty: Vec<(Ino, LBlock, BlockAddr)> = self
+            .cache
+            .iter_meta()
+            .filter(|&(_, _, _, d)| d)
+            .map(|(ino, lb, addr, _)| (ino, lb, addr))
+            .collect();
+        debug_assert!(
+            dirty.iter().all(|&(_, _, a)| a != UNASSIGNED),
+            "FFS dirty block without an assigned address"
+        );
+        dirty.sort_by_key(|&(_, _, addr)| addr);
+        let mut i = 0;
+        while i < dirty.len() {
+            // Extend a contiguous run.
+            let mut j = i + 1;
+            while j < dirty.len()
+                && dirty[j].2 == dirty[j - 1].2 + 1
+                && (j - i) < self.cfg.max_flush_run as usize
+            {
+                j += 1;
+            }
+            let mut image = vec![0u8; (j - i) * BLOCK_SIZE];
+            for (k, &(ino, lb, _)) in dirty[i..j].iter().enumerate() {
+                let b = self.cache.get(ino, lb).expect("dirty is pinned");
+                image[k * BLOCK_SIZE..(k + 1) * BLOCK_SIZE].copy_from_slice(&b.data);
+            }
+            self.write_dev(dirty[i].2, &image)?;
+            self.charge_cpu(self.cfg.cpu.write_block * (j - i) as u64);
+            for &(ino, lb, addr) in &dirty[i..j] {
+                self.cache.mark_clean(ino, lb, addr);
+            }
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Flushes data, the inode table, and the bitmap.
+    pub fn sync(&mut self) -> Result<()> {
+        self.flush_data()?;
+        // Dirty inode-table blocks.
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        for bi in 0..self.itable_blocks as usize {
+            let lo = bi * INODES_PER_BLOCK;
+            let hi = (lo + INODES_PER_BLOCK).min(self.itable.len());
+            if lo >= self.itable.len() || !self.itable_dirty[lo..hi].iter().any(|&d| d) {
+                continue;
+            }
+            blk.fill(0);
+            for (slot, d) in self.itable[lo..hi].iter().enumerate() {
+                d.encode(&mut blk[slot * DINODE_SIZE..(slot + 1) * DINODE_SIZE]);
+            }
+            self.write_dev(1 + bi as u32, &blk)?;
+            for f in &mut self.itable_dirty[lo..hi] {
+                *f = false;
+            }
+        }
+        // Bitmap (written wholesale; it is tiny).
+        let mut raw = vec![0u8; self.bmap_blocks as usize * BLOCK_SIZE];
+        self.blocks
+            .encode(&mut raw[..self.dev.nblocks().div_ceil(8) as usize]);
+        let base = 1 + self.itable_blocks;
+        self.write_dev(base, &raw)?;
+        self.cache.shrink_to_capacity();
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Namespace (flat subset of the LFS API, same semantics).
+    // -----------------------------------------------------------------
+
+    fn dir_lookup(&mut self, dino: Ino, name: &str) -> Result<Option<(Ino, FileKind)>> {
+        let d = *self.inode(dino)?;
+        if FileKind::from_mode(d.mode) != Some(FileKind::Directory) {
+            return Err(LfsError::NotDir);
+        }
+        for l in 0..d.size.div_ceil(BLOCK_SIZE as u64) as u32 {
+            self.ensure_block(dino, LBlock::Data(l))?;
+            let buf = self.cache.get(dino, LBlock::Data(l)).expect("ensured");
+            if let Some(hit) = dir::find(&buf.data, name) {
+                return Ok(Some(hit));
+            }
+        }
+        Ok(None)
+    }
+
+    fn namei_parent<'a>(&mut self, path: &'a str) -> Result<(Ino, &'a str)> {
+        let mut comps: Vec<&str> = path.split('/').filter(|c| !c.is_empty()).collect();
+        let name = comps.pop().ok_or(LfsError::Invalid("empty path"))?;
+        let mut cur = ROOT_INO;
+        for comp in comps {
+            let (ino, kind) = self.dir_lookup(cur, comp)?.ok_or(LfsError::NotFound)?;
+            if kind != FileKind::Directory {
+                return Err(LfsError::NotDir);
+            }
+            cur = ino;
+        }
+        Ok((cur, name))
+    }
+
+    /// Resolves a path.
+    pub fn lookup(&mut self, path: &str) -> Result<Ino> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let mut cur = ROOT_INO;
+        for comp in path.split('/').filter(|c| !c.is_empty()) {
+            let (ino, _) = self.dir_lookup(cur, comp)?.ok_or(LfsError::NotFound)?;
+            cur = ino;
+        }
+        Ok(cur)
+    }
+
+    fn dir_add(&mut self, dino: Ino, name: &str, ino: Ino, kind: FileKind) -> Result<()> {
+        let size = self.inode(dino)?.size;
+        let nblocks = size.div_ceil(BLOCK_SIZE as u64) as u32;
+        for l in 0..nblocks {
+            self.ensure_block(dino, LBlock::Data(l))?;
+            let buf = self.cache.get_mut(dino, LBlock::Data(l)).expect("ensured");
+            if dir::add(&mut buf.data, name, ino, kind)? {
+                buf.dirty = true;
+                return Ok(());
+            }
+        }
+        let addr = self.alloc_bmap(dino, LBlock::Data(nblocks))?;
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        dir::init_block(&mut blk);
+        dir::add(&mut blk, name, ino, kind)?;
+        self.cache.insert(
+            dino,
+            LBlock::Data(nblocks),
+            blk.into_boxed_slice(),
+            true,
+            addr,
+        );
+        let d = self.inode_mut(dino)?;
+        d.size += BLOCK_SIZE as u64;
+        Ok(())
+    }
+
+    /// Creates a regular file.
+    pub fn create(&mut self, path: &str) -> Result<Ino> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let (dino, name) = self.namei_parent(path)?;
+        if self.dir_lookup(dino, name)?.is_some() {
+            return Err(LfsError::Exists);
+        }
+        let ino = self.ialloc(FileKind::Regular)?;
+        self.dir_add(dino, name, ino, FileKind::Regular)?;
+        Ok(ino)
+    }
+
+    /// Creates a directory.
+    pub fn mkdir(&mut self, path: &str) -> Result<Ino> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let (dino, name) = self.namei_parent(path)?;
+        if self.dir_lookup(dino, name)?.is_some() {
+            return Err(LfsError::Exists);
+        }
+        let ino = self.ialloc(FileKind::Directory)?;
+        let addr = self.alloc_bmap(ino, LBlock::Data(0))?;
+        let mut blk = vec![0u8; BLOCK_SIZE];
+        dir::init_block(&mut blk);
+        dir::add(&mut blk, ".", ino, FileKind::Directory)?;
+        dir::add(&mut blk, "..", dino, FileKind::Directory)?;
+        self.cache
+            .insert(ino, LBlock::Data(0), blk.into_boxed_slice(), true, addr);
+        {
+            let d = self.inode_mut(ino)?;
+            d.size = BLOCK_SIZE as u64;
+            d.nlink = 2;
+        }
+        self.dir_add(dino, name, ino, FileKind::Directory)?;
+        self.inode_mut(dino)?.nlink += 1;
+        Ok(ino)
+    }
+
+    /// Removes a file, releasing its blocks.
+    pub fn unlink(&mut self, path: &str) -> Result<()> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let (dino, name) = self.namei_parent(path)?;
+        let (ino, kind) = self.dir_lookup(dino, name)?.ok_or(LfsError::NotFound)?;
+        if kind == FileKind::Directory {
+            return Err(LfsError::IsDir);
+        }
+        // Remove the entry.
+        let size = self.inode(dino)?.size;
+        let mut removed = false;
+        for l in 0..size.div_ceil(BLOCK_SIZE as u64) as u32 {
+            self.ensure_block(dino, LBlock::Data(l))?;
+            let buf = self.cache.get_mut(dino, LBlock::Data(l)).expect("ensured");
+            if dir::remove(&mut buf.data, name).is_some() {
+                buf.dirty = true;
+                removed = true;
+                break;
+            }
+        }
+        if !removed {
+            return Err(LfsError::NotFound);
+        }
+        let last_link = self.inode(ino)?.nlink == 1;
+        if last_link {
+            // Release while the inode is still live (bmap needs it),
+            // then clear the slot.
+            self.release_blocks(ino)?;
+        } else {
+            self.inode_mut(ino)?.nlink -= 1;
+        }
+        Ok(())
+    }
+
+    fn release_blocks(&mut self, ino: Ino) -> Result<()> {
+        let d = *self.inode(ino)?;
+        let nblocks = d.size.div_ceil(BLOCK_SIZE as u64);
+        for l in 0..nblocks {
+            let addr = self.bmap(ino, LBlock::Data(l as u32))?;
+            if addr != UNASSIGNED {
+                self.blocks.release(addr as u64);
+            }
+        }
+        for lb in [LBlock::Ind1, LBlock::Ind2] {
+            let addr = self.bmap(ino, lb)?;
+            if addr != UNASSIGNED {
+                self.blocks.release(addr as u64);
+            }
+        }
+        if d.ib[1] != UNASSIGNED {
+            let children = (nblocks.saturating_sub((NDIRECT + NPTR) as u64)).div_ceil(NPTR as u64);
+            for k in 0..children {
+                let addr = self.bmap(ino, LBlock::Ind2Child(k as u32))?;
+                if addr != UNASSIGNED {
+                    self.blocks.release(addr as u64);
+                }
+            }
+        }
+        self.cache.remove_file(ino);
+        let d = self.inode_mut(ino)?;
+        let gen = d.gen;
+        *d = Dinode::empty();
+        d.gen = gen;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Data path.
+    // -----------------------------------------------------------------
+
+    /// Reads up to `buf.len()` bytes at `offset`.
+    pub fn read(&mut self, ino: Ino, offset: u64, buf: &mut [u8]) -> Result<usize> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let size = {
+            let now = self.now();
+            let d = self.inode_mut(ino)?;
+            d.atime = now;
+            d.size
+        };
+        if offset >= size {
+            return Ok(0);
+        }
+        let want = buf.len().min((size - offset) as usize);
+        let mut done = 0;
+        while done < want {
+            let pos = offset + done as u64;
+            let l = (pos / BLOCK_SIZE as u64) as u32;
+            let off_in = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - off_in).min(want - done);
+            self.ensure_block(ino, LBlock::Data(l))?;
+            let src = self.cache.get(ino, LBlock::Data(l)).expect("ensured");
+            buf[done..done + n].copy_from_slice(&src.data[off_in..off_in + n]);
+            self.seq_hint.insert(ino, l + 1);
+            done += n;
+            self.balance()?;
+        }
+        Ok(done)
+    }
+
+    /// Writes `data` at `offset` (write-behind; `sync` persists).
+    pub fn write(&mut self, ino: Ino, offset: u64, data: &[u8]) -> Result<()> {
+        self.charge_cpu(self.cfg.cpu.per_op);
+        let size = self.inode(ino)?.size;
+        let mut done = 0;
+        while done < data.len() {
+            let pos = offset + done as u64;
+            let l = (pos / BLOCK_SIZE as u64) as u32;
+            let off_in = (pos % BLOCK_SIZE as u64) as usize;
+            let n = (BLOCK_SIZE - off_in).min(data.len() - done);
+            let lb = LBlock::Data(l);
+            let addr = self.alloc_bmap(ino, lb)?;
+            if self.cache.get(ino, lb).is_none() {
+                let within = (l as u64) < size.div_ceil(BLOCK_SIZE as u64);
+                if n < BLOCK_SIZE && within {
+                    self.ensure_block(ino, lb)?;
+                } else {
+                    self.cache.insert(
+                        ino,
+                        lb,
+                        vec![0u8; BLOCK_SIZE].into_boxed_slice(),
+                        false,
+                        addr,
+                    );
+                }
+            }
+            let buf = self.cache.get_mut(ino, lb).expect("present");
+            buf.data[off_in..off_in + n].copy_from_slice(&data[done..done + n]);
+            buf.dirty = true;
+            buf.addr = addr;
+            done += n;
+            self.balance()?;
+        }
+        let now = self.now();
+        let end = offset + data.len() as u64;
+        let d = self.inode_mut(ino)?;
+        d.size = d.size.max(end);
+        d.mtime = now;
+        Ok(())
+    }
+
+    /// `stat` an inode.
+    pub fn stat(&mut self, ino: Ino) -> Result<Stat> {
+        let d = *self.inode(ino)?;
+        Ok(Stat {
+            ino,
+            kind: FileKind::from_mode(d.mode).ok_or(LfsError::Corrupt("bad mode"))?,
+            size: d.size,
+            nlink: d.nlink,
+            atime: d.atime,
+            mtime: d.mtime,
+            ctime: d.ctime,
+            blocks: d.blocks,
+        })
+    }
+
+    /// Lists a directory.
+    pub fn readdir(&mut self, path: &str) -> Result<Vec<dir::DirEntry>> {
+        let dino = self.lookup(path)?;
+        let d = *self.inode(dino)?;
+        let mut out = Vec::new();
+        for l in 0..d.size.div_ceil(BLOCK_SIZE as u64) as u32 {
+            self.ensure_block(dino, LBlock::Data(l))?;
+            let buf = self.cache.get(dino, LBlock::Data(l)).expect("ensured");
+            out.extend(dir::entries(&buf.data));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_vdev::{Disk, DiskProfile};
+
+    fn fixture(nblocks: u64) -> (Rc<Disk>, Clock) {
+        let clock = Clock::new();
+        (Rc::new(Disk::new(DiskProfile::RZ57, nblocks, None)), clock)
+    }
+
+    fn mkffs(nblocks: u64) -> (Ffs, Clock) {
+        let (dev, clock) = fixture(nblocks);
+        Ffs::mkfs(dev.clone(), FfsConfig::paper(clock.clone())).unwrap();
+        (
+            Ffs::mount(dev, FfsConfig::paper(clock.clone())).unwrap(),
+            clock,
+        )
+    }
+
+    fn patterned(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(17).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn create_write_read_round_trip() {
+        let (mut fs, _) = mkffs(50_000);
+        let ino = fs.create("/f").unwrap();
+        let data = patterned(300_000, 1);
+        fs.write(ino, 0, &data).unwrap();
+        fs.sync().unwrap();
+        fs.drop_caches();
+        let mut back = vec![0u8; data.len()];
+        assert_eq!(fs.read(ino, 0, &mut back).unwrap(), data.len());
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn data_survives_remount() {
+        let (dev, clock) = fixture(50_000);
+        Ffs::mkfs(dev.clone(), FfsConfig::paper(clock.clone())).unwrap();
+        let data = patterned(100_000, 2);
+        {
+            let mut fs = Ffs::mount(dev.clone(), FfsConfig::paper(clock.clone())).unwrap();
+            let ino = fs.create("/persist").unwrap();
+            fs.write(ino, 0, &data).unwrap();
+            fs.sync().unwrap();
+        }
+        let mut fs = Ffs::mount(dev, FfsConfig::paper(clock)).unwrap();
+        let ino = fs.lookup("/persist").unwrap();
+        let mut back = vec![0u8; data.len()];
+        fs.read(ino, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn sequential_layout_is_contiguous() {
+        let (mut fs, _) = mkffs(50_000);
+        let ino = fs.create("/seq").unwrap();
+        fs.write(ino, 0, &patterned(64 * 4096, 3)).unwrap();
+        fs.sync().unwrap();
+        // The indirect block allocated at logical block 12 may break the
+        // physical run once; everything else must be contiguous.
+        let mut breaks = 0;
+        let mut prev = fs.bmap(ino, LBlock::Data(0)).unwrap();
+        for l in 1..64 {
+            let addr = fs.bmap(ino, LBlock::Data(l)).unwrap();
+            if addr != prev + 1 {
+                breaks += 1;
+            }
+            prev = addr;
+        }
+        assert!(breaks <= 1, "{breaks} contiguity breaks in a fresh file");
+    }
+
+    #[test]
+    fn unlink_releases_space() {
+        let (mut fs, _) = mkffs(20_000);
+        let free0 = fs.free_blocks();
+        let ino = fs.create("/gone").unwrap();
+        fs.write(ino, 0, &patterned(400_000, 4)).unwrap();
+        fs.sync().unwrap();
+        assert!(fs.free_blocks() < free0);
+        fs.unlink("/gone").unwrap();
+        assert_eq!(fs.free_blocks(), free0);
+        assert!(fs.lookup("/gone").is_err());
+    }
+
+    #[test]
+    fn directories_nest() {
+        let (mut fs, _) = mkffs(20_000);
+        fs.mkdir("/d").unwrap();
+        let ino = fs.create("/d/f").unwrap();
+        fs.write(ino, 0, b"x").unwrap();
+        assert_eq!(fs.lookup("/d/f").unwrap(), ino);
+        let names: Vec<String> = fs
+            .readdir("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(names.contains(&"f".to_string()));
+    }
+
+    #[test]
+    fn large_files_reach_indirect_range() {
+        let (mut fs, _) = mkffs(60_000);
+        let ino = fs.create("/big").unwrap();
+        let data = patterned(5 * 1024 * 1024, 5);
+        fs.write(ino, 0, &data).unwrap();
+        fs.sync().unwrap();
+        fs.drop_caches();
+        let mut back = vec![0u8; data.len()];
+        fs.read(ino, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn sequential_write_runs_near_media_speed() {
+        // Table 2 shape: FFS sequential writes ≈ raw disk write speed.
+        let (mut fs, clock) = mkffs(100_000);
+        let ino = fs.create("/seq").unwrap();
+        let chunk = patterned(1024 * 1024, 6);
+        let t0 = clock.now();
+        for i in 0..10u64 {
+            fs.write(ino, i * chunk.len() as u64, &chunk).unwrap();
+        }
+        fs.sync().unwrap();
+        let kbs = hl_sim::time::throughput_kbs(10 << 20, clock.now() - t0);
+        assert!(kbs > 850.0, "FFS seq write {kbs:.0} KB/s");
+        assert!(kbs < 1100.0, "FFS seq write implausibly fast: {kbs:.0}");
+    }
+
+    #[test]
+    fn random_reads_are_seek_bound() {
+        let (mut fs, clock) = mkffs(100_000);
+        let ino = fs.create("/r").unwrap();
+        let chunk = patterned(1024 * 1024, 7);
+        for i in 0..10u64 {
+            fs.write(ino, i * chunk.len() as u64, &chunk).unwrap();
+        }
+        fs.sync().unwrap();
+        fs.drop_caches();
+        let t0 = clock.now();
+        let mut frame = vec![0u8; 4096];
+        for i in 0..250u64 {
+            let off = (i * 997 % 2560) * 4096;
+            fs.read(ino, off, &mut frame).unwrap();
+        }
+        let kbs = hl_sim::time::throughput_kbs(250 * 4096, clock.now() - t0);
+        assert!(kbs < 400.0, "random reads should seek: {kbs:.0} KB/s");
+        assert!(kbs > 50.0, "random reads implausibly slow: {kbs:.0} KB/s");
+    }
+}

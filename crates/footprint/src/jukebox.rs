@@ -1,0 +1,654 @@
+//! The jukebox: drives + volumes + a robot arm.
+//!
+//! Models the paper's HP 6300 configuration faithfully (§7): two drives
+//! and 32 cartridges, with "one drive allocated for the currently-active
+//! writing segment, and the other for reading other platters (the writing
+//! drive also fulfilled any read requests for its platter)" — that is
+//! [`DrivePolicy::WriterPlusReaders`]. Media swaps take the measured
+//! 13.5 s and, when a SCSI bus is attached, hog it for the whole swap.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hl_sim::time::SimTime;
+use hl_sim::Resource;
+use hl_vdev::{DevError, DiskProfile, IoSlot, ScsiBus, SparseStore, TapeProfile};
+
+use crate::stats::FpStats;
+use crate::{Footprint, VolumeId};
+
+/// The kind of media in the jukebox, with its timing model.
+#[derive(Clone, Copy, Debug)]
+pub enum MediaKind {
+    /// Rewritable magneto-optical platters (HP 6300).
+    MagnetoOptic(DiskProfile),
+    /// Sequential tape cartridges (Metrum, Exabyte).
+    Tape(TapeProfile),
+    /// Write-once optical platters (Sony WORM): rewriting a segment slot
+    /// fails.
+    Worm(DiskProfile),
+}
+
+impl MediaKind {
+    fn name(&self) -> &'static str {
+        match self {
+            MediaKind::MagnetoOptic(p) | MediaKind::Worm(p) => p.name,
+            MediaKind::Tape(p) => p.name,
+        }
+    }
+}
+
+/// How drives are assigned to volumes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DrivePolicy {
+    /// Drive 0 is reserved for the volume being written (it also serves
+    /// reads of that volume); remaining drives serve reads, evicting the
+    /// least recently used loaded volume. This is the paper's §7 setup.
+    WriterPlusReaders,
+    /// Any drive may hold any volume; LRU eviction.
+    AnyLru,
+}
+
+/// Jukebox construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct JukeboxConfig {
+    /// Media kind and timing.
+    pub media: MediaKind,
+    /// Number of reader/writer drives (the HP 6300 had 2).
+    pub drives: usize,
+    /// Number of media volumes (the HP 6300 had 32).
+    pub volumes: u32,
+    /// Segment slots per volume. The paper constrained each platter to
+    /// 40 MB (40 slots) to force frequent volume changes.
+    pub segments_per_volume: u32,
+    /// Segment size in bytes (1 MB in the paper's configuration).
+    pub segment_bytes: usize,
+    /// Eject-command-to-ready media change time (Table 5: 13.5 s).
+    pub volume_change_time: SimTime,
+    /// How drives are allocated.
+    pub policy: DrivePolicy,
+}
+
+impl JukeboxConfig {
+    /// The paper's HP 6300 test configuration: 2 drives, 32 platters
+    /// constrained to 40 × 1 MB segments each, 13.5 s swaps.
+    pub fn hp6300_paper() -> Self {
+        Self {
+            media: MediaKind::MagnetoOptic(DiskProfile::HP6300_MO),
+            drives: 2,
+            volumes: 32,
+            segments_per_volume: 40,
+            segment_bytes: 1024 * 1024,
+            volume_change_time: hl_sim::time::secs(13.5),
+            policy: DrivePolicy::WriterPlusReaders,
+        }
+    }
+
+    /// A Metrum-like tape robot (§2: 600 cartridges × 14.5 GB ≈ 9 TB).
+    /// `segments_per_volume` may be scaled down for laptop-sized tests.
+    pub fn metrum(volumes: u32, segments_per_volume: u32) -> Self {
+        Self {
+            media: MediaKind::Tape(TapeProfile::METRUM),
+            drives: 2,
+            volumes,
+            segments_per_volume,
+            segment_bytes: 1024 * 1024,
+            volume_change_time: hl_sim::time::secs(45.0),
+            policy: DrivePolicy::WriterPlusReaders,
+        }
+    }
+
+    /// A Sony-like WORM jukebox (§2: ~327 GB total).
+    pub fn sony_worm(volumes: u32, segments_per_volume: u32) -> Self {
+        Self {
+            media: MediaKind::Worm(DiskProfile::SONY_WORM),
+            drives: 2,
+            volumes,
+            segments_per_volume,
+            segment_bytes: 1024 * 1024,
+            volume_change_time: hl_sim::time::secs(8.0),
+            policy: DrivePolicy::AnyLru,
+        }
+    }
+}
+
+struct VolumeState {
+    data: SparseStore,
+    /// Segment slots already written (write-once enforcement, EOM model).
+    written: Vec<bool>,
+    /// Effective capacity in segments; may be < nominal for compressing
+    /// media with a poor compression outcome.
+    effective_segments: u32,
+    failed: bool,
+}
+
+struct DriveState {
+    loaded: Option<VolumeId>,
+    /// Head position, in segment index (for seek distances).
+    head: u32,
+    /// Last use time, for LRU eviction.
+    last_used: SimTime,
+    res: Resource,
+}
+
+struct Inner {
+    cfg: JukeboxConfig,
+    volumes: Vec<VolumeState>,
+    drives: Vec<DriveState>,
+    robot: Resource,
+    bus: Option<ScsiBus>,
+    stats: FpStats,
+}
+
+/// A robotic media changer implementing [`Footprint`].
+///
+/// Cloning shares state (one physical device, many handles).
+///
+/// # Examples
+///
+/// ```
+/// use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+///
+/// let jb = Jukebox::new(JukeboxConfig::hp6300_paper(), None);
+/// let seg = vec![7u8; jb.segment_bytes()];
+/// let w = jb.write_segment(0, 0, 0, &seg).unwrap();
+/// let mut back = vec![0u8; jb.segment_bytes()];
+/// jb.read_segment(w.end, 0, 0, &mut back).unwrap();
+/// assert_eq!(back, seg);
+/// ```
+#[derive(Clone)]
+pub struct Jukebox {
+    inner: Rc<RefCell<Inner>>,
+}
+
+impl Jukebox {
+    /// Builds a jukebox; all volumes start in their slots, all drives
+    /// empty. An attached [`ScsiBus`] is hogged during swaps and held
+    /// during transfers (the paper's non-disconnecting driver).
+    pub fn new(cfg: JukeboxConfig, bus: Option<ScsiBus>) -> Self {
+        let volumes = (0..cfg.volumes)
+            .map(|_| VolumeState {
+                data: SparseStore::new(cfg.segment_bytes),
+                written: vec![false; cfg.segments_per_volume as usize],
+                effective_segments: cfg.segments_per_volume,
+                failed: false,
+            })
+            .collect();
+        let drives = (0..cfg.drives)
+            .map(|_| DriveState {
+                loaded: None,
+                head: 0,
+                last_used: 0,
+                res: Resource::new(cfg.media.name()),
+            })
+            .collect();
+        Self {
+            inner: Rc::new(RefCell::new(Inner {
+                cfg,
+                volumes,
+                drives,
+                robot: Resource::new("robot"),
+                bus,
+                stats: FpStats::default(),
+            })),
+        }
+    }
+
+    /// Reduces a volume's effective capacity, simulating a compression
+    /// shortfall: writes beyond `segments` report end-of-medium (§6.3).
+    pub fn set_effective_segments(&self, vol: VolumeId, segments: u32) {
+        let mut inner = self.inner.borrow_mut();
+        inner.volumes[vol as usize].effective_segments = segments;
+    }
+
+    /// Returns `true` if the given segment slot has been written.
+    pub fn segment_written(&self, vol: VolumeId, seg: u32) -> bool {
+        self.inner.borrow().volumes[vol as usize]
+            .written
+            .get(seg as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Erases a volume (tertiary cleaner support, §10): all slots become
+    /// writable again. Fails on WORM media.
+    pub fn erase_volume_inner(&self, vol: VolumeId) -> Result<(), DevError> {
+        let mut inner = self.inner.borrow_mut();
+        if matches!(inner.cfg.media, MediaKind::Worm(_)) {
+            return Err(DevError::WriteOnceViolation { block: 0 });
+        }
+        let v = &mut inner.volumes[vol as usize];
+        if v.failed {
+            return Err(DevError::MediaFailure);
+        }
+        v.data.clear();
+        v.written.fill(false);
+        Ok(())
+    }
+
+    /// Ensures `vol` is loaded in a drive, swapping if needed. Returns
+    /// `(drive index, time the volume is ready)`.
+    fn ensure_loaded(
+        inner: &mut Inner,
+        at: SimTime,
+        vol: VolumeId,
+        writing: bool,
+    ) -> Result<(usize, SimTime), DevError> {
+        if vol >= inner.cfg.volumes {
+            return Err(DevError::Offline);
+        }
+        // Already loaded?
+        if let Some(d) = inner.drives.iter().position(|d| d.loaded == Some(vol)) {
+            inner.drives[d].last_used = at;
+            return Ok((d, at));
+        }
+        // Pick a drive.
+        let d = match inner.cfg.policy {
+            DrivePolicy::WriterPlusReaders => {
+                if writing || inner.drives.len() == 1 {
+                    0
+                } else {
+                    // Reader drives are 1..; evict the LRU among them.
+                    let (idx, _) = inner
+                        .drives
+                        .iter()
+                        .enumerate()
+                        .skip(1)
+                        .min_by_key(|(_, d)| (d.loaded.is_some(), d.last_used))
+                        .expect("at least one reader drive");
+                    idx
+                }
+            }
+            DrivePolicy::AnyLru => {
+                let (idx, _) = inner
+                    .drives
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| (d.loaded.is_some(), d.last_used))
+                    .expect("at least one drive");
+                idx
+            }
+        };
+        // The swap needs the robot, the target drive, and (if attached)
+        // hogs the bus for its whole duration.
+        let swap = inner.cfg.volume_change_time;
+        let earliest = at.max(inner.drives[d].res.free_at());
+        let (start, _) = inner.robot.acquire(earliest, swap);
+        let end = if let Some(bus) = &inner.bus {
+            bus.hog_for_swap(start, swap).1
+        } else {
+            start + swap
+        };
+        inner.drives[d].res.acquire(start, end - start);
+        inner.drives[d].loaded = Some(vol);
+        inner.drives[d].head = 0;
+        inner.drives[d].last_used = end;
+        inner.stats.swaps += 1;
+        inner.stats.swap_time += end - start;
+        Ok((d, end))
+    }
+
+    /// Computes positioning + transfer time on a loaded volume.
+    fn media_io_time(inner: &Inner, drive: usize, seg: u32, writing: bool) -> (SimTime, SimTime) {
+        let seg_bytes = inner.cfg.segment_bytes as u64;
+        let head = inner.drives[drive].head;
+        let dist = head.abs_diff(seg) as u64;
+        match inner.cfg.media {
+            MediaKind::MagnetoOptic(p) | MediaKind::Worm(p) => {
+                let span = inner.cfg.segments_per_volume as u64;
+                let seek = if dist == 0 {
+                    0
+                } else {
+                    p.seek_time(dist, span) + p.rot_latency()
+                };
+                (p.per_io_overhead + seek, p.transfer(seg_bytes, writing))
+            }
+            MediaKind::Tape(p) => (p.seek_time(dist * seg_bytes), p.transfer(seg_bytes)),
+        }
+    }
+
+    fn segment_io(
+        &self,
+        at: SimTime,
+        vol: VolumeId,
+        seg: u32,
+        writing: bool,
+    ) -> Result<IoSlot, DevError> {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        if seg >= inner.cfg.segments_per_volume {
+            return Err(DevError::OutOfRange {
+                block: seg as u64,
+                count: 1,
+                capacity: inner.cfg.segments_per_volume as u64,
+            });
+        }
+        if inner.volumes[vol as usize].failed {
+            return Err(DevError::MediaFailure);
+        }
+        let (d, ready) = Self::ensure_loaded(inner, at, vol, writing)?;
+        let (position, transfer) = Self::media_io_time(inner, d, seg, writing);
+        let (start, positioned) = inner.drives[d].res.acquire(ready, position);
+        let seg_bytes = inner.cfg.segment_bytes as u64;
+        let end = if let Some(bus) = &inner.bus {
+            let (_, bus_end) = bus.transfer(positioned, seg_bytes);
+            bus_end.max(positioned + transfer)
+        } else {
+            positioned + transfer
+        };
+        if end > positioned {
+            inner.drives[d].res.acquire(positioned, end - positioned);
+        }
+        inner.drives[d].head = seg + 1;
+        inner.drives[d].last_used = end;
+        inner.stats.seek_time += position;
+        inner.stats.transfer_time += transfer;
+        if writing {
+            inner.stats.writes += 1;
+            inner.stats.bytes_written += inner.cfg.segment_bytes as u64;
+        } else {
+            inner.stats.reads += 1;
+            inner.stats.bytes_read += inner.cfg.segment_bytes as u64;
+        }
+        Ok(IoSlot { start, end })
+    }
+
+    fn check_buf(&self, buf_len: usize) -> Result<(), DevError> {
+        let want = self.inner.borrow().cfg.segment_bytes;
+        if buf_len != want {
+            return Err(DevError::BadBuffer {
+                expected: want,
+                got: buf_len,
+            });
+        }
+        Ok(())
+    }
+
+    fn check_slot(&self, vol: VolumeId, seg: u32) -> Result<(), DevError> {
+        let inner = self.inner.borrow();
+        if vol >= inner.cfg.volumes {
+            return Err(DevError::Offline);
+        }
+        if seg >= inner.cfg.segments_per_volume {
+            return Err(DevError::OutOfRange {
+                block: seg as u64,
+                count: 1,
+                capacity: inner.cfg.segments_per_volume as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Footprint for Jukebox {
+    fn volumes(&self) -> u32 {
+        self.inner.borrow().cfg.volumes
+    }
+
+    fn segment_bytes(&self) -> usize {
+        self.inner.borrow().cfg.segment_bytes
+    }
+
+    fn segments_per_volume(&self) -> u32 {
+        self.inner.borrow().cfg.segments_per_volume
+    }
+
+    fn read_segment(
+        &self,
+        at: SimTime,
+        vol: VolumeId,
+        seg: u32,
+        buf: &mut [u8],
+    ) -> Result<IoSlot, DevError> {
+        self.check_buf(buf.len())?;
+        self.check_slot(vol, seg)?;
+        let slot = self.segment_io(at, vol, seg, false)?;
+        self.inner.borrow().volumes[vol as usize]
+            .data
+            .read(seg as u64, buf);
+        Ok(slot)
+    }
+
+    fn write_segment(
+        &self,
+        at: SimTime,
+        vol: VolumeId,
+        seg: u32,
+        buf: &[u8],
+    ) -> Result<IoSlot, DevError> {
+        self.check_buf(buf.len())?;
+        self.check_slot(vol, seg)?;
+        {
+            let inner = self.inner.borrow();
+            let v = &inner.volumes[vol as usize];
+            if matches!(inner.cfg.media, MediaKind::Worm(_)) && v.written[seg as usize] {
+                return Err(DevError::WriteOnceViolation { block: seg as u64 });
+            }
+            if seg >= v.effective_segments {
+                // Compression shortfall: the medium reported end-of-medium
+                // before this slot; the volume must be marked full.
+                return Err(DevError::EndOfMedium { written: 0 });
+            }
+        }
+        let slot = self.segment_io(at, vol, seg, true)?;
+        let mut inner = self.inner.borrow_mut();
+        let v = &mut inner.volumes[vol as usize];
+        v.data.write(seg as u64, buf);
+        v.written[seg as usize] = true;
+        Ok(slot)
+    }
+
+    fn peek_segment(&self, vol: VolumeId, seg: u32, buf: &mut [u8]) -> Result<(), DevError> {
+        self.check_buf(buf.len())?;
+        self.check_slot(vol, seg)?;
+        let inner = self.inner.borrow();
+        let v = &inner.volumes[vol as usize];
+        if v.failed {
+            return Err(DevError::MediaFailure);
+        }
+        v.data.read(seg as u64, buf);
+        Ok(())
+    }
+
+    fn poke_segment(&self, vol: VolumeId, seg: u32, buf: &[u8]) -> Result<(), DevError> {
+        self.check_buf(buf.len())?;
+        self.check_slot(vol, seg)?;
+        let mut inner = self.inner.borrow_mut();
+        let v = &mut inner.volumes[vol as usize];
+        v.data.write(seg as u64, buf);
+        v.written[seg as usize] = true;
+        Ok(())
+    }
+
+    fn volume_change_time(&self) -> SimTime {
+        self.inner.borrow().cfg.volume_change_time
+    }
+
+    fn fail_volume(&self, vol: VolumeId) {
+        self.inner.borrow_mut().volumes[vol as usize].failed = true;
+    }
+
+    fn stats(&self) -> FpStats {
+        self.inner.borrow().stats
+    }
+
+    fn reset_stats(&self) {
+        self.inner.borrow_mut().stats = FpStats::default();
+    }
+
+    fn loaded_volumes(&self) -> Vec<Option<VolumeId>> {
+        self.inner
+            .borrow()
+            .drives
+            .iter()
+            .map(|d| d.loaded)
+            .collect()
+    }
+
+    fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError> {
+        self.erase_volume_inner(vol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hl_sim::time::{secs, SEC};
+
+    fn hp6300() -> Jukebox {
+        Jukebox::new(JukeboxConfig::hp6300_paper(), None)
+    }
+
+    #[test]
+    fn first_access_pays_a_volume_swap() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let slot = jb.write_segment(0, 3, 0, &seg).unwrap();
+        // 13.5 s swap + ~5 s MO write of 1 MB.
+        assert!(slot.end > secs(13.5));
+        assert!(slot.end < secs(25.0));
+        assert_eq!(jb.stats().swaps, 1);
+        assert_eq!(jb.loaded_volumes()[0], Some(3));
+    }
+
+    #[test]
+    fn loaded_volume_needs_no_swap() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let w1 = jb.write_segment(0, 0, 0, &seg).unwrap();
+        let w2 = jb.write_segment(w1.end, 0, 1, &seg).unwrap();
+        assert_eq!(jb.stats().swaps, 1);
+        // Sequential continuation: the second write is just transfer time.
+        let mo_write_1mb = DiskProfile::HP6300_MO.transfer(1024 * 1024, true);
+        assert!(w2.duration() >= mo_write_1mb);
+        assert!(w2.duration() < mo_write_1mb + SEC);
+    }
+
+    #[test]
+    fn writer_plus_readers_policy_separates_streams() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let mut back = vec![0u8; jb.segment_bytes()];
+        // Stage data on volumes 1 and 2 without timing.
+        jb.poke_segment(1, 0, &seg).unwrap();
+        jb.poke_segment(2, 0, &seg).unwrap();
+        // A write to volume 0 claims drive 0...
+        let w = jb.write_segment(0, 0, 0, &seg).unwrap();
+        // ...reads of volumes 1 then 2 go to drive 1 (evicting each other).
+        jb.read_segment(w.end, 1, 0, &mut back).unwrap();
+        jb.read_segment(w.end, 2, 0, &mut back).unwrap();
+        let loaded = jb.loaded_volumes();
+        assert_eq!(loaded[0], Some(0));
+        assert_eq!(loaded[1], Some(2));
+        assert_eq!(jb.stats().swaps, 3);
+    }
+
+    #[test]
+    fn reads_of_writing_volume_use_the_writer_drive() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let w = jb.write_segment(0, 5, 0, &seg).unwrap();
+        let mut back = vec![0u8; jb.segment_bytes()];
+        jb.read_segment(w.end, 5, 0, &mut back).unwrap();
+        // No extra swap: the writing drive serves its own platter's reads.
+        assert_eq!(jb.stats().swaps, 1);
+        assert_eq!(jb.loaded_volumes()[1], None);
+    }
+
+    #[test]
+    fn end_of_medium_on_compression_shortfall() {
+        let jb = hp6300();
+        jb.set_effective_segments(0, 2);
+        let seg = vec![1u8; jb.segment_bytes()];
+        let w = jb.write_segment(0, 0, 0, &seg).unwrap();
+        jb.write_segment(w.end, 0, 1, &seg).unwrap();
+        assert!(matches!(
+            jb.write_segment(w.end, 0, 2, &seg),
+            Err(DevError::EndOfMedium { .. })
+        ));
+    }
+
+    #[test]
+    fn worm_media_reject_slot_rewrites() {
+        let jb = Jukebox::new(JukeboxConfig::sony_worm(4, 16), None);
+        let seg = vec![1u8; jb.segment_bytes()];
+        let w = jb.write_segment(0, 0, 3, &seg).unwrap();
+        assert!(matches!(
+            jb.write_segment(w.end, 0, 3, &seg),
+            Err(DevError::WriteOnceViolation { .. })
+        ));
+        assert!(jb.erase_volume(0).is_err());
+    }
+
+    #[test]
+    fn erase_volume_reclaims_tape_slots() {
+        let jb = Jukebox::new(JukeboxConfig::metrum(4, 16), None);
+        let seg = vec![9u8; jb.segment_bytes()];
+        jb.write_segment(0, 0, 0, &seg).unwrap();
+        assert!(jb.segment_written(0, 0));
+        jb.erase_volume(0).unwrap();
+        assert!(!jb.segment_written(0, 0));
+        let mut back = vec![1u8; jb.segment_bytes()];
+        jb.peek_segment(0, 0, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn swaps_hog_an_attached_bus() {
+        let bus = ScsiBus::new("scsi0");
+        let jb = Jukebox::new(JukeboxConfig::hp6300_paper(), Some(bus.clone()));
+        let seg = vec![1u8; jb.segment_bytes()];
+        jb.write_segment(0, 0, 0, &seg).unwrap();
+        // The bus was held for the 13.5 s swap plus the ~5 s transfer.
+        assert!(bus.busy_total() >= secs(13.5));
+    }
+
+    #[test]
+    fn failed_volume_errors_all_io() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        jb.poke_segment(7, 0, &seg).unwrap();
+        jb.fail_volume(7);
+        let mut back = vec![0u8; jb.segment_bytes()];
+        assert_eq!(
+            jb.read_segment(0, 7, 0, &mut back),
+            Err(DevError::MediaFailure)
+        );
+        assert_eq!(
+            jb.peek_segment(7, 0, &mut back),
+            Err(DevError::MediaFailure)
+        );
+    }
+
+    #[test]
+    fn tape_seeks_scale_with_distance() {
+        let jb = Jukebox::new(JukeboxConfig::metrum(2, 1000), None);
+        let seg = vec![1u8; jb.segment_bytes()];
+        // Write two far-apart segments, then re-read the first: the tape
+        // must travel back ~500 MB.
+        let w1 = jb.write_segment(0, 0, 0, &seg).unwrap();
+        let w2 = jb.write_segment(w1.end, 0, 500, &seg).unwrap();
+        let mut back = vec![0u8; jb.segment_bytes()];
+        let r = jb.read_segment(w2.end, 0, 0, &mut back).unwrap();
+        let expect_seek = TapeProfile::METRUM.seek_time(501 * 1024 * 1024);
+        assert!(
+            r.duration() >= expect_seek,
+            "{} < {expect_seek}",
+            r.duration()
+        );
+    }
+
+    #[test]
+    fn out_of_range_segment_rejected() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        assert!(matches!(
+            jb.write_segment(0, 0, 40, &seg),
+            Err(DevError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            jb.write_segment(0, 0, 0, &seg[..1000]),
+            Err(DevError::BadBuffer { .. })
+        ));
+    }
+}

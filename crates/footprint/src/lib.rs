@@ -1,0 +1,93 @@
+//! Footprint: the abstract robotic-storage interface (§2, §6.5).
+//!
+//! Sequoia's variety of robots — a 600-cartridge Metrum VHS unit, an HP
+//! 6300 magneto-optical changer, a Sony WORM jukebox — led to a uniform
+//! interface that "unburdens HighLight from needing to understand the
+//! details of a particular device". This crate is that interface:
+//! tertiary storage is *an array of devices each holding an array of media
+//! volumes, each of which contains an array of segments* (§6.5), and
+//! HighLight moves whole segments through it.
+//!
+//! The [`Footprint`] trait exposes segment-granularity reads and writes
+//! with full timing: robot swap latency (13.5 s measured in Table 5, and
+//! the swap *hogs the SCSI bus* because the autochanger driver never
+//! disconnects, §7), per-medium seeks, and calibrated transfer rates.
+//! [`Jukebox`] implements it for magneto-optical, tape, and write-once
+//! media.
+
+pub mod jukebox;
+pub mod stats;
+
+pub use jukebox::{DrivePolicy, Jukebox, JukeboxConfig, MediaKind};
+pub use stats::FpStats;
+
+use hl_sim::time::SimTime;
+use hl_vdev::{DevError, IoSlot};
+
+/// Identifies a media volume (tape cartridge or optical platter) within a
+/// tertiary device.
+pub type VolumeId = u32;
+
+/// The abstract robotic-device interface HighLight is written against.
+///
+/// All data movement is in whole segments: "HighLight uses the same data
+/// format on both secondary and tertiary storage, transferring entire LFS
+/// segments between the levels of the storage hierarchy" (§1).
+pub trait Footprint {
+    /// Number of media volumes in the device.
+    fn volumes(&self) -> u32;
+
+    /// Segment size in bytes (uniform across the filesystem).
+    fn segment_bytes(&self) -> usize;
+
+    /// Number of segment slots allocated to a volume. This is the
+    /// *maximum expected* count (§6.3); compressing media may fill early.
+    fn segments_per_volume(&self) -> u32;
+
+    /// Timed whole-segment read.
+    fn read_segment(
+        &self,
+        at: SimTime,
+        vol: VolumeId,
+        seg: u32,
+        buf: &mut [u8],
+    ) -> Result<IoSlot, DevError>;
+
+    /// Timed whole-segment write. Returns
+    /// [`DevError::EndOfMedium`] if the volume filled early (compression
+    /// shortfall); the caller marks the volume full and re-writes the
+    /// segment on the next volume (§6.3).
+    fn write_segment(
+        &self,
+        at: SimTime,
+        vol: VolumeId,
+        seg: u32,
+        buf: &[u8],
+    ) -> Result<IoSlot, DevError>;
+
+    /// Untimed read, for recovery tooling and tests.
+    fn peek_segment(&self, vol: VolumeId, seg: u32, buf: &mut [u8]) -> Result<(), DevError>;
+
+    /// Untimed write, for formatting and tests.
+    fn poke_segment(&self, vol: VolumeId, seg: u32, buf: &[u8]) -> Result<(), DevError>;
+
+    /// The eject-to-ready volume change time (Table 5: 13.5 s for the
+    /// HP 6300).
+    fn volume_change_time(&self) -> SimTime;
+
+    /// Marks a volume as failed media (§10 reliability experiments).
+    fn fail_volume(&self, vol: VolumeId);
+
+    /// Cumulative timing/operation counters.
+    fn stats(&self) -> FpStats;
+
+    /// Resets the counters.
+    fn reset_stats(&self);
+
+    /// Returns the volume currently loaded in each drive (`None` = empty).
+    fn loaded_volumes(&self) -> Vec<Option<VolumeId>>;
+
+    /// Erases a volume so its slots may be rewritten (tertiary cleaning,
+    /// §10). Fails on write-once media.
+    fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError>;
+}

@@ -1,0 +1,328 @@
+//! The cleaner: segment garbage collection (§3).
+//!
+//! "A user-level process called the cleaner garbage collects free space
+//! from dirty segments ... selects one or more dirty segments to be
+//! cleaned, appends all valid data from those segments to the tail of the
+//! log, and then marks those segments clean." The cleaner communicates
+//! through the ifile (here: the in-core usage table, which the ifile
+//! serializes) and the `lfs_bmapv` / `lfs_markv` system calls, both
+//! exposed as methods so HighLight's migrator can reuse them (§6.7).
+
+use hl_vdev::BLOCK_SIZE;
+
+use crate::error::{LfsError, Result};
+use crate::fs::Lfs;
+use crate::ondisk::{seg_flags, Dinode, SegSummary};
+use crate::types::{BlockAddr, Ino, LBlock, SegNo, DINODE_SIZE, INODES_PER_BLOCK, UNASSIGNED};
+
+/// Victim-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CleanerPolicy {
+    /// Clean the segment with the fewest live bytes.
+    Greedy,
+    /// Sprite LFS cost-benefit: maximize `(1−u)·age / (1+u)` where `u`
+    /// is utilization — prefers cold, moderately empty segments over
+    /// hot, just-emptied ones.
+    CostBenefit,
+}
+
+/// What one cleaning pass accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CleanReport {
+    /// Segments examined and reclaimed.
+    pub segs_cleaned: u32,
+    /// Live blocks copied to the log tail.
+    pub blocks_copied: u32,
+    /// Live inodes rewritten.
+    pub inodes_copied: u32,
+}
+
+impl Lfs {
+    /// `lfs_bmapv`: resolves each `(inode, logical block)` to its current
+    /// disk address — "the same call used by the regular cleaner to
+    /// determine which blocks in a segment are still valid" (§6.7).
+    pub fn bmapv(&mut self, reqs: &[(Ino, LBlock)]) -> Result<Vec<BlockAddr>> {
+        reqs.iter().map(|&(ino, lb)| self.bmap(ino, lb)).collect()
+    }
+
+    /// `lfs_markv`: re-dirties the given blocks so the next segment write
+    /// moves them to the log tail. `data` supplies the block contents
+    /// read from the victim segment; blocks already dirty in the cache
+    /// are skipped (a newer copy supersedes the segment's).
+    pub fn markv(&mut self, blocks: &[(Ino, LBlock, BlockAddr)], data: &[&[u8]]) -> Result<u32> {
+        assert_eq!(blocks.len(), data.len(), "markv: blocks/data mismatch");
+        let mut moved = 0;
+        for (&(ino, lb, addr), &payload) in blocks.iter().zip(data) {
+            // Re-validate: still the live copy?
+            if self.bmap(ino, lb)? != addr {
+                continue;
+            }
+            match self.cache.get(ino, lb) {
+                Some(b) if b.dirty => continue,
+                Some(_) => {
+                    self.cache.mark_dirty(ino, lb);
+                }
+                None => {
+                    self.cache
+                        .insert(ino, lb, payload.to_vec().into_boxed_slice(), true, addr);
+                }
+            }
+            moved += 1;
+        }
+        self.balance_cache()?;
+        Ok(moved)
+    }
+
+    /// Selects the best victim under `policy`; `None` if nothing is
+    /// cleanable.
+    pub fn select_victim(&self, policy: CleanerPolicy) -> Option<SegNo> {
+        let mut best: Option<(SegNo, f64)> = None;
+        for seg in 0..self.sb.nsegs {
+            if seg == self.cur_seg || seg == self.next_seg {
+                continue;
+            }
+            let u = &self.seguse[seg as usize];
+            let cleanable = u.flags & seg_flags::DIRTY != 0
+                && u.flags & (seg_flags::ACTIVE | seg_flags::CACHE | seg_flags::NOSTORE) == 0;
+            if !cleanable {
+                continue;
+            }
+            let util = u.live_bytes as f64 / self.sb.seg_bytes as f64;
+            let score = match policy {
+                CleanerPolicy::Greedy => -(u.live_bytes as f64),
+                CleanerPolicy::CostBenefit => {
+                    let age = (self.log_serial.saturating_sub(u.write_serial)) as f64;
+                    (1.0 - util) * age / (1.0 + util)
+                }
+            };
+            if best.map(|(_, s)| score > s).unwrap_or(true) {
+                best = Some((seg, score));
+            }
+        }
+        best.map(|(seg, _)| seg)
+    }
+
+    /// Cleans one victim segment end-to-end: read it, identify live
+    /// blocks and inodes, mark them for rewrite, flush, and mark the
+    /// segment clean. Returns `None` if no victim was available.
+    pub fn clean_once(&mut self) -> Result<Option<CleanReport>> {
+        let Some(victim) = self.select_victim(self.cfg.cleaner_policy) else {
+            return Ok(None);
+        };
+        let report = self.clean_segment(victim)?;
+        Ok(Some(report))
+    }
+
+    /// Cleans until at least `target` segments are clean (or no further
+    /// progress is possible).
+    pub fn clean_until(&mut self, target: u32) -> Result<CleanReport> {
+        let mut total = CleanReport::default();
+        loop {
+            let before = self.clean_segs();
+            if before >= target {
+                break;
+            }
+            match self.clean_once()? {
+                Some(r) => {
+                    total.segs_cleaned += r.segs_cleaned;
+                    total.blocks_copied += r.blocks_copied;
+                    total.inodes_copied += r.inodes_copied;
+                }
+                None => break,
+            }
+            // Live data has to live somewhere: once cleaning stops
+            // gaining ground (copies consume as much as they reclaim),
+            // further passes only shuffle segments.
+            if self.clean_segs() <= before {
+                break;
+            }
+        }
+        Ok(total)
+    }
+
+    /// Cleans a specific segment.
+    pub fn clean_segment(&mut self, victim: SegNo) -> Result<CleanReport> {
+        let u = self.seguse[victim as usize];
+        if u.flags & (seg_flags::ACTIVE | seg_flags::CACHE) != 0
+            || victim == self.cur_seg
+            || victim == self.next_seg
+        {
+            return Err(LfsError::Invalid("segment is not cleanable"));
+        }
+        self.stats.cleaner_runs += 1;
+
+        // One large sequential read of the whole victim segment.
+        let base = self.amap.seg_base(victim);
+        let image = self.read_raw(base, self.bps())?;
+        let live = self.scan_segment_live(victim, &image)?;
+
+        // Move live file blocks and re-dirty live inodes.
+        let mut report = CleanReport {
+            segs_cleaned: 1,
+            ..Default::default()
+        };
+        {
+            let refs: Vec<(Ino, LBlock, BlockAddr)> =
+                live.blocks.iter().map(|b| (b.0, b.1, b.2)).collect();
+            let data: Vec<&[u8]> = live
+                .blocks
+                .iter()
+                .map(|b| {
+                    let off = (b.2 - base) as usize * BLOCK_SIZE;
+                    &image[off..off + BLOCK_SIZE]
+                })
+                .collect();
+            report.blocks_copied = self.markv(&refs, &data)?;
+        }
+        for ino in live.inodes {
+            // Loading dirties nothing; mark dirty so the inode moves.
+            self.iget_mut(ino)?.dirty = true;
+            report.inodes_copied += 1;
+        }
+        self.stats.blocks_cleaned += report.blocks_copied as u64;
+
+        // Flush the copies, then retire the segment.
+        self.segwrite()?;
+        let u = &mut self.seguse[victim as usize];
+        debug_assert_eq!(
+            u.live_bytes, 0,
+            "segment {victim} still has live bytes after cleaning"
+        );
+        u.flags = 0;
+        u.live_bytes = 0;
+        u.cache_tag = UNASSIGNED;
+        self.stats.segs_reclaimed += 1;
+        Ok(report)
+    }
+
+    /// Parses a segment image and reports which of its blocks and inodes
+    /// are still live (pointer/imap-validated, the `bmapv` check).
+    pub(crate) fn scan_segment_live(&mut self, seg: SegNo, image: &[u8]) -> Result<LiveSet> {
+        let base = self.amap.seg_base(seg);
+        let first_serial = self.seguse[seg as usize].write_serial;
+        let mut live = LiveSet::default();
+        let mut off = 0u32;
+        let mut last_serial = None;
+        while off + 1 < self.bps() {
+            let sum_off = off as usize * BLOCK_SIZE;
+            let Ok((summary, _datasum)) =
+                SegSummary::decode(&image[sum_off..sum_off + self.sb.summary_bytes as usize])
+            else {
+                break;
+            };
+            // Reject summaries from a previous occupancy of this segment.
+            if summary.serial < first_serial
+                || last_serial.map(|s| summary.serial <= s).unwrap_or(false)
+            {
+                break;
+            }
+            last_serial = Some(summary.serial);
+
+            let mut blk_idx = 0u32;
+            for fi in &summary.finfos {
+                for &lbn in &fi.blocks {
+                    let addr = base + off + 1 + blk_idx;
+                    blk_idx += 1;
+                    let lb = LBlock::decode(lbn as i64);
+                    let ino = fi.ino;
+                    if self
+                        .imap
+                        .get(ino as usize)
+                        .map(|e| e.version == fi.version && e.daddr != UNASSIGNED)
+                        .unwrap_or(false)
+                        && self.bmap(ino, lb)? == addr
+                    {
+                        live.blocks.push((ino, lb, addr));
+                    }
+                }
+            }
+            for &iaddr in &summary.inode_addrs {
+                let idx = iaddr - base;
+                let boff = idx as usize * BLOCK_SIZE;
+                if boff + BLOCK_SIZE > image.len() {
+                    return Err(LfsError::Corrupt("inode address outside segment"));
+                }
+                for slot in 0..INODES_PER_BLOCK {
+                    let d = Dinode::decode(&image[boff + slot * DINODE_SIZE..]);
+                    if d.nlink == 0 {
+                        continue;
+                    }
+                    let ino = d.inumber;
+                    if self
+                        .imap
+                        .get(ino as usize)
+                        .map(|e| e.daddr == iaddr && e.version == d.gen)
+                        .unwrap_or(false)
+                        && !live.inodes.contains(&ino)
+                    {
+                        live.inodes.push(ino);
+                    }
+                }
+                blk_idx += 1;
+            }
+            off += 1 + blk_idx;
+        }
+        Ok(live)
+    }
+}
+
+/// Live contents of a scanned segment.
+#[derive(Clone, Debug, Default)]
+pub struct LiveSet {
+    /// Live file blocks: `(ino, logical block, current address)`.
+    pub blocks: Vec<(Ino, LBlock, BlockAddr)>,
+    /// Inodes whose current copy is in this segment.
+    pub inodes: Vec<Ino>,
+}
+
+impl Lfs {
+    /// Claims a clean disk segment as a tertiary cache line (HighLight's
+    /// segment cache, §6.4). The segment is marked `CACHE` so neither the
+    /// log nor the cleaner will touch it. Returns `None` when no clean
+    /// segment is spare or the static cache limit is reached.
+    pub fn claim_cache_segment(&mut self) -> Option<SegNo> {
+        let in_use = self
+            .seguse
+            .iter()
+            .filter(|u| u.flags & seg_flags::CACHE != 0)
+            .count() as u32;
+        if in_use >= self.sb.cache_segs {
+            return None;
+        }
+        // Leave breathing room for the log itself.
+        if self.clean_segs() <= self.cfg.min_clean_segs {
+            return None;
+        }
+        let seg = self.pick_clean_segment(self.cur_seg)?;
+        let u = &mut self.seguse[seg as usize];
+        u.flags = seg_flags::CACHE;
+        u.cache_tag = UNASSIGNED;
+        Some(seg)
+    }
+
+    /// Returns a cache line to the clean pool (dynamic cache shrinking,
+    /// §10 future work).
+    pub fn release_cache_segment(&mut self, seg: SegNo) {
+        let u = &mut self.seguse[seg as usize];
+        debug_assert!(u.flags & seg_flags::CACHE != 0, "not a cache segment");
+        *u = crate::ondisk::SegUse::clean(self.sb.seg_bytes);
+    }
+
+    /// Records which tertiary segment a cache line holds (persisted in
+    /// the ifile's per-segment cache-directory tag, §6.4).
+    pub fn set_cache_tag(&mut self, seg: SegNo, tag: u32, fetch_time: u64) {
+        let u = &mut self.seguse[seg as usize];
+        u.cache_tag = tag;
+        u.fetch_time = fetch_time;
+    }
+
+    /// Disk segments currently flagged as cache lines, with their tags.
+    pub fn cache_segments(&self) -> Vec<(SegNo, u32, u64)> {
+        self.seguse
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| u.flags & seg_flags::CACHE != 0)
+            .map(|(s, u)| (s as SegNo, u.cache_tag, u.fetch_time))
+            .collect()
+    }
+}

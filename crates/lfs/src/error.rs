@@ -1,0 +1,83 @@
+//! Filesystem errors.
+
+use std::fmt;
+
+use hl_vdev::DevError;
+
+/// Errors returned by the LFS (and by HighLight, which wraps it).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LfsError {
+    /// Path component or inode not found.
+    NotFound,
+    /// Creating something that already exists.
+    Exists,
+    /// A non-directory appeared where a directory was required.
+    NotDir,
+    /// A directory appeared where a file was required.
+    IsDir,
+    /// Removing a non-empty directory.
+    NotEmpty,
+    /// A path component exceeds the 255-byte name limit.
+    NameTooLong,
+    /// File would exceed the double-indirect addressing limit.
+    FileTooBig,
+    /// No clean segments remain and cleaning cannot free any.
+    NoSpace,
+    /// Inode numbers exhausted.
+    NoInodes,
+    /// The filesystem image is inconsistent.
+    Corrupt(&'static str),
+    /// An underlying device error.
+    Dev(DevError),
+    /// Operation invalid for this filesystem state (e.g. I/O on a freed
+    /// inode).
+    Invalid(&'static str),
+}
+
+impl fmt::Display for LfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LfsError::NotFound => write!(f, "no such file or directory"),
+            LfsError::Exists => write!(f, "file exists"),
+            LfsError::NotDir => write!(f, "not a directory"),
+            LfsError::IsDir => write!(f, "is a directory"),
+            LfsError::NotEmpty => write!(f, "directory not empty"),
+            LfsError::NameTooLong => write!(f, "file name too long"),
+            LfsError::FileTooBig => write!(f, "file too large"),
+            LfsError::NoSpace => write!(f, "no space left on device"),
+            LfsError::NoInodes => write!(f, "out of inodes"),
+            LfsError::Corrupt(why) => write!(f, "filesystem corrupt: {why}"),
+            LfsError::Dev(e) => write!(f, "device error: {e}"),
+            LfsError::Invalid(why) => write!(f, "invalid operation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for LfsError {}
+
+impl From<DevError> for LfsError {
+    fn from(e: DevError) -> Self {
+        LfsError::Dev(e)
+    }
+}
+
+/// Shorthand result type.
+pub type Result<T> = std::result::Result<T, LfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_errors_convert() {
+        let e: LfsError = DevError::MediaFailure.into();
+        assert_eq!(e, LfsError::Dev(DevError::MediaFailure));
+        assert!(e.to_string().contains("media failure"));
+    }
+
+    #[test]
+    fn messages_are_unixy() {
+        assert_eq!(LfsError::NotFound.to_string(), "no such file or directory");
+        assert_eq!(LfsError::NoSpace.to_string(), "no space left on device");
+    }
+}

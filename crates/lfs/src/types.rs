@@ -1,0 +1,165 @@
+//! Fundamental identifiers and constants.
+//!
+//! Block addresses follow §6.3: 32-bit numbers addressing 4-kilobyte
+//! units, viewed as `(segment number, offset)` pairs, with `-1`
+//! (`0xffff_ffff`) reserved as the out-of-band "unassigned" value — which
+//! is one of the two reasons a segment's worth of address space is
+//! unusable at the very top.
+
+/// A 32-bit filesystem block address, in 4 KB units (16 TB limit, §6.3).
+pub type BlockAddr = u32;
+
+/// The out-of-band block address: "the need for at least one out-of-band
+/// block number (−1) to indicate an unassigned block" (§6.3).
+pub const UNASSIGNED: BlockAddr = u32::MAX;
+
+/// An inode number.
+pub type Ino = u32;
+
+/// A segment number within the uniform address space.
+pub type SegNo = u32;
+
+/// The ifile's well-known inode number.
+pub const IFILE_INO: Ino = 1;
+
+/// The root directory's inode number.
+pub const ROOT_INO: Ino = 2;
+
+/// Number of direct block pointers in a dinode.
+pub const NDIRECT: usize = 12;
+
+/// Block pointers per 4 KB indirect block (4096 / 4).
+pub const NPTR: usize = 1024;
+
+/// Bytes per packed on-disk inode.
+pub const DINODE_SIZE: usize = 128;
+
+/// Dinodes per 4 KB inode block.
+pub const INODES_PER_BLOCK: usize = 32;
+
+/// What an inode describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A regular file.
+    Regular,
+    /// A directory.
+    Directory,
+}
+
+impl FileKind {
+    /// On-disk mode tag.
+    pub fn mode(self) -> u16 {
+        match self {
+            FileKind::Regular => 0o100_000,
+            FileKind::Directory => 0o040_000,
+        }
+    }
+
+    /// Decodes the mode tag.
+    pub fn from_mode(mode: u16) -> Option<FileKind> {
+        match mode & 0o170_000 {
+            0o100_000 => Some(FileKind::Regular),
+            0o040_000 => Some(FileKind::Directory),
+            _ => None,
+        }
+    }
+}
+
+/// Identifies a logical block within a file, including metadata blocks.
+///
+/// The on-disk FINFO records encode these as signed logical block
+/// numbers, the 4.4BSD LFS convention: non-negative for data blocks,
+/// `-1` for the single indirect, `-2` for the double-indirect root, and
+/// `-(3+k)` for the k-th level-1 block under the double indirect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LBlock {
+    /// The `n`-th 4 KB data block.
+    Data(u32),
+    /// The single indirect pointer block.
+    Ind1,
+    /// The double-indirect root pointer block.
+    Ind2,
+    /// The `k`-th level-1 pointer block hanging off the double indirect.
+    Ind2Child(u32),
+}
+
+impl LBlock {
+    /// Encodes to the signed on-disk logical block number.
+    pub fn encode(self) -> i64 {
+        match self {
+            LBlock::Data(n) => n as i64,
+            LBlock::Ind1 => -1,
+            LBlock::Ind2 => -2,
+            LBlock::Ind2Child(k) => -3 - k as i64,
+        }
+    }
+
+    /// Decodes from the signed on-disk logical block number.
+    pub fn decode(v: i64) -> LBlock {
+        match v {
+            n if n >= 0 => LBlock::Data(n as u32),
+            -1 => LBlock::Ind1,
+            -2 => LBlock::Ind2,
+            k => LBlock::Ind2Child((-3 - k) as u32),
+        }
+    }
+
+    /// Returns `true` for metadata (indirect pointer) blocks.
+    pub fn is_indirect(self) -> bool {
+        !matches!(self, LBlock::Data(_))
+    }
+}
+
+/// Maximum logical data block index a dinode can address
+/// (12 direct + 1024 single + 1024² double).
+pub const MAX_DATA_BLOCKS: u64 = NDIRECT as u64 + NPTR as u64 + (NPTR as u64) * (NPTR as u64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lblock_encoding_round_trips() {
+        for lb in [
+            LBlock::Data(0),
+            LBlock::Data(12345),
+            LBlock::Ind1,
+            LBlock::Ind2,
+            LBlock::Ind2Child(0),
+            LBlock::Ind2Child(1023),
+        ] {
+            assert_eq!(LBlock::decode(lb.encode()), lb);
+        }
+    }
+
+    #[test]
+    fn lblock_encoding_matches_bsd_convention() {
+        assert_eq!(LBlock::Data(7).encode(), 7);
+        assert_eq!(LBlock::Ind1.encode(), -1);
+        assert_eq!(LBlock::Ind2.encode(), -2);
+        assert_eq!(LBlock::Ind2Child(0).encode(), -3);
+        assert_eq!(LBlock::Ind2Child(2).encode(), -5);
+    }
+
+    #[test]
+    fn file_kind_modes_round_trip() {
+        for k in [FileKind::Regular, FileKind::Directory] {
+            assert_eq!(FileKind::from_mode(k.mode() | 0o644), Some(k));
+        }
+        assert_eq!(FileKind::from_mode(0), None);
+    }
+
+    #[test]
+    fn indirect_classification() {
+        assert!(!LBlock::Data(3).is_indirect());
+        assert!(LBlock::Ind1.is_indirect());
+        assert!(LBlock::Ind2Child(5).is_indirect());
+    }
+
+    #[test]
+    fn address_space_limit_is_16tb() {
+        // 2^32 blocks × 4 KB = 16 TB, §6.3.
+        let bytes = (u32::MAX as u64 + 1) * 4096;
+        assert_eq!(bytes, 16 * 1024u64.pow(4));
+    }
+}

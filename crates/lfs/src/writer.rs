@@ -1,0 +1,560 @@
+//! The segment writer: gathers dirty state into partial segments and
+//! appends them to the threaded log.
+//!
+//! Per §3: "Each segment of the log may contain several partial segments.
+//! A partial segment is considered an atomic update to the log, and is
+//! headed by a segment summary cataloging its contents" — with a checksum
+//! "to verify that the entire partial segment is intact on disk and
+//! provide an assurance of atomicity."
+//!
+//! A batch is written as follows: the dirty set is *closed* over parent
+//! metadata (a dirty data block forces its indirect chain and inode into
+//! the batch), then blocks are streamed child-before-parent so that every
+//! pointer patch lands in a block that has not yet been serialized, with
+//! inode blocks packed last — the 4.4BSD layout. Each partial becomes a
+//! single large device write, which is where LFS's sequential-write
+//! advantage comes from.
+
+use hl_vdev::BLOCK_SIZE;
+
+use crate::error::{LfsError, Result};
+use crate::fs::{CachedInode, Lfs, CHECKPOINT_ADDR};
+use crate::ondisk::{seg_flags, Checkpoint, Finfo, SegSummary, CHECKPOINT_SLOT, SEGUSE_SIZE};
+use crate::types::{
+    BlockAddr, Ino, LBlock, SegNo, DINODE_SIZE, IFILE_INO, INODES_PER_BLOCK, UNASSIGNED,
+};
+
+/// Entries per ifile segment-usage block.
+pub const SEGUSE_PER_BLOCK: usize = BLOCK_SIZE / SEGUSE_SIZE;
+/// Entries per ifile inode-map block.
+pub const IFENT_PER_BLOCK: usize = BLOCK_SIZE / crate::ondisk::IFENT_SIZE;
+
+/// Sort rank ensuring children are streamed before the blocks that point
+/// at them: data, then level-1 indirects, then the indirect roots.
+fn stream_rank(lb: LBlock) -> (u8, u64) {
+    match lb {
+        LBlock::Data(l) => (0, l as u64),
+        LBlock::Ind2Child(k) => (1, k as u64),
+        LBlock::Ind1 => (2, 0),
+        LBlock::Ind2 => (3, 0),
+    }
+}
+
+impl Lfs {
+    /// Flushes all dirty data and metadata to the log (no checkpoint
+    /// record). Equivalent to `sync(2)` minus the checkpoint.
+    pub fn sync(&mut self) -> Result<()> {
+        self.segwrite()
+    }
+
+    /// Takes a checkpoint: serializes the in-core ifile tables into the
+    /// ifile, flushes everything, and writes the alternating checkpoint
+    /// record (§3).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        // Deferred access-time updates become real inode writes now.
+        let atime_only: Vec<Ino> = self
+            .inodes
+            .iter()
+            .filter(|(_, i)| i.atime_dirty && !i.dirty)
+            .map(|(&ino, _)| ino)
+            .collect();
+        for ino in atime_only {
+            let i = self.inodes.get_mut(&ino).expect("listed above");
+            i.dirty = true;
+            i.atime_dirty = false;
+        }
+        // First flush assigns final disk addresses to all dirty data and
+        // inodes; only then is the inode map worth serializing. The
+        // second flush persists the ifile itself (its own live-byte
+        // deltas land in the *next* checkpoint's table; recovery audits
+        // them, so on-media staleness is harmless).
+        self.segwrite()?;
+        self.serialize_ifile()?;
+        self.segwrite()?;
+
+        let ckpt = Checkpoint {
+            serial: self.ckpt_serial + 1,
+            log_serial: self.log_serial,
+            ifile_inode_addr: self.ifile_inode_addr,
+            next_seg: self.cur_seg,
+            next_off: self.cur_off,
+            timestamp: self.now(),
+            tert_serial: self.tert_serial,
+        };
+        // Read-modify-write the checkpoint block, touching only the slot
+        // the previous checkpoint does not occupy.
+        let mut block = self.read_raw(CHECKPOINT_ADDR, 1)?;
+        let slot = (ckpt.serial % 2) as usize;
+        ckpt.encode(&mut block[slot * CHECKPOINT_SLOT..(slot + 1) * CHECKPOINT_SLOT]);
+        self.write_raw(CHECKPOINT_ADDR, &block)?;
+        self.ckpt_serial = ckpt.serial;
+        self.stats.checkpoints += 1;
+        Ok(())
+    }
+
+    /// Serializes the authoritative in-core segment-usage table and inode
+    /// map into the ifile's blocks (inode 1), marking them dirty. The
+    /// layout is: block 0 cleaner info; then segment-usage blocks; then
+    /// inode-map blocks (§3, §6.4).
+    pub(crate) fn serialize_ifile(&mut self) -> Result<()> {
+        let nsegs = self.sb.nsegs as usize;
+        let su_blocks = nsegs.div_ceil(SEGUSE_PER_BLOCK);
+        let im_blocks = self.imap.len().div_ceil(IFENT_PER_BLOCK).max(1);
+        let total_blocks = 1 + su_blocks + im_blocks;
+
+        // Block 0: cleaner info.
+        let mut b0 = vec![0u8; BLOCK_SIZE];
+        crate::ondisk::put_u32(&mut b0, 0, self.clean_segs());
+        crate::ondisk::put_u32(&mut b0, 4, self.free_head);
+        crate::ondisk::put_u32(&mut b0, 8, self.imap.len() as u32);
+        crate::ondisk::put_u32(&mut b0, 12, self.sb.nsegs);
+        self.put_ifile_block(0, b0)?;
+
+        for bi in 0..su_blocks {
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for slot in 0..SEGUSE_PER_BLOCK {
+                let seg = bi * SEGUSE_PER_BLOCK + slot;
+                if seg >= nsegs {
+                    break;
+                }
+                self.seguse[seg].encode(&mut blk[slot * SEGUSE_SIZE..(slot + 1) * SEGUSE_SIZE]);
+            }
+            self.put_ifile_block(1 + bi as u32, blk)?;
+        }
+
+        for bi in 0..im_blocks {
+            let mut blk = vec![0u8; BLOCK_SIZE];
+            for slot in 0..IFENT_PER_BLOCK {
+                let idx = bi * IFENT_PER_BLOCK + slot;
+                if idx >= self.imap.len() {
+                    break;
+                }
+                self.imap[idx].encode(
+                    &mut blk
+                        [slot * crate::ondisk::IFENT_SIZE..(slot + 1) * crate::ondisk::IFENT_SIZE],
+                );
+            }
+            self.put_ifile_block((1 + su_blocks + bi) as u32, blk)?;
+        }
+
+        let new_size = (total_blocks * BLOCK_SIZE) as u64;
+        let ifile = self.iget_mut(IFILE_INO)?;
+        if ifile.d.size != new_size {
+            ifile.d.size = new_size;
+        }
+        ifile.dirty = true;
+        Ok(())
+    }
+
+    /// Replaces one logical block of the ifile with fresh dirty contents.
+    fn put_ifile_block(&mut self, l: u32, data: Vec<u8>) -> Result<()> {
+        let lb = LBlock::Data(l);
+        let old = match self.cache.get(IFILE_INO, lb) {
+            Some(b) => b.addr,
+            None => self.bmap(IFILE_INO, lb)?,
+        };
+        let was_hole = old == UNASSIGNED && self.cache.get(IFILE_INO, lb).is_none();
+        self.cache
+            .insert(IFILE_INO, lb, data.into_boxed_slice(), true, old);
+        if was_hole {
+            let inode = self.iget_mut(IFILE_INO)?;
+            inode.d.blocks += 1;
+            inode.dirty = true;
+        }
+        Ok(())
+    }
+
+    /// Writes every dirty block and inode to the log, looping until the
+    /// dirty set is empty.
+    pub(crate) fn segwrite(&mut self) -> Result<()> {
+        if self.writing {
+            return Ok(());
+        }
+        self.writing = true;
+        let out = self.segwrite_inner();
+        self.writing = false;
+        out
+    }
+
+    fn segwrite_inner(&mut self) -> Result<()> {
+        // Passes: patching parents during a batch can dirty blocks that
+        // were clean when the batch snapshot was taken (rare: only when a
+        // parent was not closed over, which close_over prevents). The
+        // loop is the safety net.
+        for _pass in 0..64 {
+            self.close_over_parents()?;
+            let files = self.cache.dirty_keys();
+            let mut inos: Vec<Ino> = self
+                .inodes
+                .iter()
+                .filter(|(_, i)| i.dirty)
+                .map(|(&ino, _)| ino)
+                .collect();
+            inos.sort_unstable();
+            if files.is_empty() && inos.is_empty() {
+                return Ok(());
+            }
+            self.write_batch(&files, &inos)?;
+        }
+        Err(LfsError::Corrupt("segment writer failed to converge"))
+    }
+
+    /// Ensures that for every dirty block, the indirect chain and inode
+    /// that will be patched are themselves dirty (and thus in the batch).
+    fn close_over_parents(&mut self) -> Result<()> {
+        loop {
+            let dirty = self.cache.dirty_keys();
+            let mut grew = false;
+            for (ino, blocks) in dirty {
+                for lb in blocks {
+                    match self.pointer_home(lb) {
+                        crate::fs::PointerHome::InBlock(parent, _) => {
+                            let parent_dirty = self
+                                .cache
+                                .get(ino, parent)
+                                .map(|b| b.dirty)
+                                .unwrap_or(false);
+                            if !parent_dirty {
+                                // Materialize and dirty the parent.
+                                self.ensure_block(ino, parent)?;
+                                self.cache.mark_dirty(ino, parent);
+                                grew = true;
+                            }
+                        }
+                        crate::fs::PointerHome::Inode(_)
+                        | crate::fs::PointerHome::InodeIndirect(_) => {
+                            let i = self.iget_mut(ino)?;
+                            if !i.dirty {
+                                i.dirty = true;
+                                grew = true;
+                            }
+                        }
+                        crate::fs::PointerHome::TooBig => {
+                            return Err(LfsError::FileTooBig);
+                        }
+                    }
+                }
+                // The file's inode is rewritten whenever any of its
+                // blocks move.
+                let i = self.iget_mut(ino)?;
+                if !i.dirty {
+                    i.dirty = true;
+                    grew = true;
+                }
+            }
+            if !grew {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Picks the next clean segment for the log, scanning upward from
+    /// `after` with wraparound. Excludes the current and pre-selected
+    /// segments.
+    pub(crate) fn pick_clean_segment(&self, after: SegNo) -> Option<SegNo> {
+        let n = self.sb.nsegs;
+        for i in 1..=n {
+            let s = (after + i) % n;
+            if s == self.cur_seg || s == self.next_seg {
+                continue;
+            }
+            if self.seguse[s as usize].is_clean() {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Moves the log tail into `next_seg` and pre-selects a new
+    /// continuation segment.
+    fn advance_segment(&mut self) -> Result<()> {
+        let old = self.cur_seg;
+        self.seguse[old as usize].flags &= !seg_flags::ACTIVE;
+        let new = self.next_seg;
+        if !self.seguse[new as usize].is_clean() {
+            return Err(LfsError::Corrupt("pre-selected log segment was claimed"));
+        }
+        self.cur_seg = new;
+        self.cur_off = 0;
+        self.seguse[new as usize].flags |= seg_flags::ACTIVE | seg_flags::DIRTY;
+        self.seguse[new as usize].write_serial = self.log_serial;
+        self.next_seg = self.pick_clean_segment(new).ok_or(LfsError::NoSpace)?;
+        self.stats.segs_consumed += 1;
+        Ok(())
+    }
+
+    /// Blocks remaining in the current segment.
+    fn seg_remaining(&self) -> u32 {
+        self.bps() - self.cur_off
+    }
+
+    /// Writes one batch (a snapshot of dirty file blocks and inodes) as
+    /// one or more partial segments.
+    fn write_batch(&mut self, files: &[(Ino, Vec<LBlock>)], inos: &[Ino]) -> Result<()> {
+        // Stream of file blocks, children before parents within a file.
+        let mut stream: Vec<(Ino, LBlock)> = Vec::new();
+        for (ino, blocks) in files {
+            let mut ordered = blocks.clone();
+            ordered.sort_by_key(|&lb| stream_rank(lb));
+            stream.extend(ordered.into_iter().map(|lb| (*ino, lb)));
+        }
+
+        // Inode blocks needed at the end of the batch.
+        let n_inode_blocks = inos.len().div_ceil(INODES_PER_BLOCK);
+
+        let mut partial = PartialBuilder::new(self);
+        let mut idx = 0;
+        while idx < stream.len() {
+            let (ino, lb) = stream[idx];
+            if !partial.try_add_file_block(self, ino, lb)? {
+                partial.flush(self)?;
+                partial = PartialBuilder::new(self);
+                continue;
+            }
+            idx += 1;
+        }
+        // Pack the dirty inodes into inode blocks.
+        let mut packed = 0;
+        while packed < inos.len() {
+            let chunk_end = (packed + INODES_PER_BLOCK).min(inos.len());
+            if !partial.try_add_inode_block(self, &inos[packed..chunk_end])? {
+                partial.flush(self)?;
+                partial = PartialBuilder::new(self);
+                continue;
+            }
+            packed = chunk_end;
+        }
+        let _ = n_inode_blocks;
+        partial.flush(self)?;
+        Ok(())
+    }
+}
+
+/// Accumulates one partial segment: address reservations, summary
+/// description, and pointer/accounting updates, then emits a single
+/// device write.
+struct PartialBuilder {
+    /// Segment being written (frozen at creation).
+    seg: SegNo,
+    /// Offset of the summary block within the segment.
+    base_off: u32,
+    /// Blocks reserved so far (excluding the summary).
+    reserved: u32,
+    serial: u64,
+    finfos: Vec<Finfo>,
+    /// `(ino, lb, new_addr)` of file blocks in stream order.
+    file_blocks: Vec<(Ino, LBlock, BlockAddr)>,
+    /// Per inode block: `(new_addr, inos)`.
+    inode_blocks: Vec<(BlockAddr, Vec<Ino>)>,
+}
+
+impl PartialBuilder {
+    fn new(fs: &mut Lfs) -> PartialBuilder {
+        PartialBuilder {
+            seg: fs.cur_seg,
+            base_off: fs.cur_off,
+            reserved: 0,
+            serial: fs.log_serial,
+            finfos: Vec::new(),
+            file_blocks: Vec::new(),
+            inode_blocks: Vec::new(),
+        }
+    }
+
+    /// Address the next reserved block would get.
+    fn next_addr(&self, fs: &Lfs) -> BlockAddr {
+        fs.amap.seg_base(self.seg) + self.base_off + 1 + self.reserved
+    }
+
+    fn summary_len_with(&self, extra_finfo: bool, extra_block: bool, extra_inoaddr: bool) -> usize {
+        use crate::ondisk::{FINFO_FIXED, SUMMARY_HEADER};
+        let mut len = SUMMARY_HEADER
+            + self
+                .finfos
+                .iter()
+                .map(|f| FINFO_FIXED + 4 * f.blocks.len())
+                .sum::<usize>()
+            + 4 * self.inode_blocks.len();
+        if extra_finfo {
+            len += FINFO_FIXED;
+        }
+        if extra_block {
+            len += 4;
+        }
+        if extra_inoaddr {
+            len += 4;
+        }
+        len
+    }
+
+    /// `true` if one more block fits in the segment.
+    fn block_fits(&self, fs: &Lfs) -> bool {
+        self.base_off + self.reserved + 2 <= fs.bps()
+    }
+
+    /// Tries to reserve and describe one file block. Returns `false` if
+    /// this partial is full (caller flushes and retries).
+    fn try_add_file_block(&mut self, fs: &mut Lfs, ino: Ino, lb: LBlock) -> Result<bool> {
+        let new_file = self.finfos.last().map(|f| f.ino != ino).unwrap_or(true);
+        if self.summary_len_with(new_file, true, false) > fs.sb.summary_bytes as usize
+            || !self.block_fits(fs)
+        {
+            return Ok(false);
+        }
+        let addr = self.next_addr(fs);
+        self.reserved += 1;
+
+        let version = fs.imap[ino as usize].version;
+        if new_file {
+            self.finfos.push(Finfo {
+                ino,
+                version,
+                lastlength: BLOCK_SIZE as u32,
+                blocks: Vec::new(),
+            });
+        }
+        let fi = self.finfos.last_mut().expect("just pushed or existing");
+        fi.blocks.push(lb.encode() as i32);
+        if let LBlock::Data(l) = lb {
+            let size = fs.iget(ino)?.d.size;
+            let last_l = if size == 0 {
+                0
+            } else {
+                (size - 1) / BLOCK_SIZE as u64
+            };
+            if l as u64 == last_l {
+                let rem = size - last_l * BLOCK_SIZE as u64;
+                fi.lastlength = if rem == 0 {
+                    BLOCK_SIZE as u32
+                } else {
+                    rem as u32
+                };
+            }
+        }
+
+        // Accounting: the old copy dies, the new one is born.
+        let old = fs.cache.get(ino, lb).map(|b| b.addr).unwrap_or(UNASSIGNED);
+        if old != UNASSIGNED {
+            fs.live_delta(old, -(BLOCK_SIZE as i64));
+        }
+        fs.live_delta(addr, BLOCK_SIZE as i64);
+
+        // Patch the parent pointer (parents are in this batch by
+        // closure, so the patched bytes are serialized later).
+        fs.set_bmap(ino, lb, addr)?;
+        self.file_blocks.push((ino, lb, addr));
+        Ok(true)
+    }
+
+    /// Tries to reserve one inode block holding `chunk`.
+    fn try_add_inode_block(&mut self, fs: &mut Lfs, chunk: &[Ino]) -> Result<bool> {
+        if self.summary_len_with(false, false, true) > fs.sb.summary_bytes as usize
+            || !self.block_fits(fs)
+        {
+            return Ok(false);
+        }
+        let addr = self.next_addr(fs);
+        self.reserved += 1;
+        for &ino in chunk {
+            let old = fs.imap[ino as usize].daddr;
+            if old != UNASSIGNED {
+                fs.live_delta(old, -(DINODE_SIZE as i64));
+            }
+            fs.live_delta(addr, DINODE_SIZE as i64);
+            fs.imap[ino as usize].daddr = addr;
+            if ino == IFILE_INO {
+                fs.ifile_inode_addr = addr;
+            }
+        }
+        self.inode_blocks.push((addr, chunk.to_vec()));
+        Ok(true)
+    }
+
+    /// Serializes and writes the partial segment; updates cache/inode
+    /// dirty state, segment usage, and the log position.
+    fn flush(self, fs: &mut Lfs) -> Result<()> {
+        if self.reserved == 0 {
+            // An empty partial: nothing to write; advance the segment if
+            // we were called because the segment was full.
+            if fs.seg_remaining() < 2 {
+                fs.advance_segment()?;
+            } else if fs.cur_off == 0 && fs.seguse[fs.cur_seg as usize].write_serial == 0 {
+                // First ever write into the initial segment: claim it.
+                fs.seguse[fs.cur_seg as usize].flags |= seg_flags::ACTIVE | seg_flags::DIRTY;
+                fs.seguse[fs.cur_seg as usize].write_serial = fs.log_serial;
+            }
+            return Ok(());
+        }
+        // Claim the segment on its first partial.
+        if self.base_off == 0 {
+            let u = &mut fs.seguse[self.seg as usize];
+            u.flags |= seg_flags::ACTIVE | seg_flags::DIRTY;
+            u.write_serial = self.serial;
+        }
+
+        let nblocks = self.reserved as usize;
+        let mut image = vec![0u8; (1 + nblocks) * BLOCK_SIZE];
+        let mut firstwords = Vec::with_capacity(nblocks);
+
+        // File blocks.
+        for (i, &(ino, lb, _addr)) in self.file_blocks.iter().enumerate() {
+            let src = fs
+                .cache
+                .get(ino, lb)
+                .ok_or(LfsError::Corrupt("dirty block vanished from cache"))?;
+            let dst = &mut image[(1 + i) * BLOCK_SIZE..(2 + i) * BLOCK_SIZE];
+            dst.copy_from_slice(&src.data);
+            firstwords.push(crate::ondisk::get_u32(dst, 0));
+        }
+        // Inode blocks.
+        let ino_base = self.file_blocks.len();
+        for (bi, (_, chunk)) in self.inode_blocks.iter().enumerate() {
+            let off = (1 + ino_base + bi) * BLOCK_SIZE;
+            for (slot, &ino) in chunk.iter().enumerate() {
+                let ci: &CachedInode = fs
+                    .inodes
+                    .get(&ino)
+                    .ok_or(LfsError::Corrupt("dirty inode vanished"))?;
+                ci.d.encode(&mut image[off + slot * DINODE_SIZE..off + (slot + 1) * DINODE_SIZE]);
+            }
+            firstwords.push(crate::ondisk::get_u32(&image[off..], 0));
+        }
+
+        // Summary.
+        let mut summary = SegSummary::new(fs.amap.seg_base(fs.next_seg), self.serial);
+        summary.finfos = self.finfos;
+        summary.inode_addrs = self.inode_blocks.iter().map(|(a, _)| *a).collect();
+        {
+            let (head, _) = image.split_at_mut(BLOCK_SIZE);
+            summary.encode(&mut head[..fs.sb.summary_bytes as usize], &firstwords);
+        }
+
+        // One large sequential write.
+        let base_addr = fs.amap.seg_base(self.seg) + self.base_off;
+        fs.write_raw(base_addr, &image)?;
+        fs.charge_cpu(fs.cfg.cpu.write_block * nblocks as u64);
+        fs.stats.partials_written += 1;
+        fs.log_serial += 1;
+
+        // Mark everything clean at its new address.
+        for &(ino, lb, addr) in &self.file_blocks {
+            fs.cache.mark_clean(ino, lb, addr);
+        }
+        for (_, chunk) in &self.inode_blocks {
+            for &ino in chunk {
+                if let Some(i) = fs.inodes.get_mut(&ino) {
+                    i.dirty = false;
+                    i.atime_dirty = false;
+                }
+            }
+        }
+
+        // Advance the log position.
+        fs.cur_off = self.base_off + 1 + self.reserved;
+        if fs.seg_remaining() < 2 {
+            fs.advance_segment()?;
+        }
+        fs.cache.shrink_to_capacity();
+        Ok(())
+    }
+}

@@ -1,0 +1,139 @@
+//! The shared virtual clock.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning a [`Clock`] yields another handle to the *same* clock; devices,
+/// filesystems, and benchmark drivers all hold handles so that any block
+/// I/O anywhere in the stack advances one global notion of time.
+///
+/// The clock is deliberately single-threaded (`Rc<Cell<_>>`): the whole
+/// simulation is deterministic and runs on one host thread.
+///
+/// # Examples
+///
+/// ```
+/// let clock = hl_sim::Clock::new();
+/// let handle = clock.clone();
+/// clock.advance_by(250);
+/// assert_eq!(handle.now(), 250);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    now: Rc<Cell<SimTime>>,
+}
+
+impl Clock {
+    /// Creates a new clock starting at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now.get()
+    }
+
+    /// Advances the clock to `t` if `t` is in the future; never moves the
+    /// clock backwards.
+    pub fn advance_to(&self, t: SimTime) {
+        if t > self.now.get() {
+            self.now.set(t);
+        }
+    }
+
+    /// Advances the clock by `dt` microseconds and returns the new time.
+    pub fn advance_by(&self, dt: SimTime) -> SimTime {
+        let t = self.now.get() + dt;
+        self.now.set(t);
+        t
+    }
+
+    /// Resets the clock to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        self.now.set(0);
+    }
+}
+
+/// A stopwatch over a [`Clock`], for measuring elapsed simulated time.
+///
+/// # Examples
+///
+/// ```
+/// let clock = hl_sim::Clock::new();
+/// let sw = hl_sim::clock::Stopwatch::start(&clock);
+/// clock.advance_by(42);
+/// assert_eq!(sw.elapsed(), 42);
+/// ```
+#[derive(Debug)]
+pub struct Stopwatch {
+    clock: Clock,
+    started: SimTime,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch at the clock's current time.
+    pub fn start(clock: &Clock) -> Self {
+        Self {
+            clock: clock.clone(),
+            started: clock.now(),
+        }
+    }
+
+    /// Returns the simulated time elapsed since the stopwatch started.
+    pub fn elapsed(&self) -> SimTime {
+        self.clock.now() - self.started
+    }
+
+    /// Restarts the stopwatch, returning the elapsed time of the lap.
+    pub fn lap(&mut self) -> SimTime {
+        let e = self.elapsed();
+        self.started = self.clock.now();
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let a = Clock::new();
+        let b = a.clone();
+        a.advance_by(10);
+        b.advance_by(5);
+        assert_eq!(a.now(), 15);
+        assert_eq!(b.now(), 15);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance_to(100);
+        c.advance_to(50);
+        assert_eq!(c.now(), 100);
+    }
+
+    #[test]
+    fn stopwatch_laps() {
+        let c = Clock::new();
+        let mut sw = Stopwatch::start(&c);
+        c.advance_by(7);
+        assert_eq!(sw.lap(), 7);
+        c.advance_by(3);
+        assert_eq!(sw.elapsed(), 3);
+    }
+
+    #[test]
+    fn reset_returns_to_zero() {
+        let c = Clock::new();
+        c.advance_by(99);
+        c.reset();
+        assert_eq!(c.now(), 0);
+    }
+}

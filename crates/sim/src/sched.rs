@@ -1,0 +1,249 @@
+//! Virtual-time cooperative scheduler.
+//!
+//! The paper's HighLight runs several cooperating processes: the
+//! application, the regular cleaner, the migrator, the kernel-request
+//! service process, and the I/O server (Figure 5). Here each is an
+//! [`Actor`]: a state machine that performs some simulated work per step
+//! and reports when it next wants to run. The [`Scheduler`] always resumes
+//! the actor with the smallest local time, which makes the interleaving —
+//! and therefore device contention — deterministic.
+
+use crate::time::SimTime;
+
+/// The result of stepping an [`Actor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// The actor has more work; resume it no earlier than the given time.
+    Yield(SimTime),
+    /// The actor has finished; it will not be stepped again.
+    Done,
+}
+
+/// A cooperatively scheduled activity over a shared world `W`.
+///
+/// `W` is whatever mutable state the actors share: typically the device
+/// stack and filesystem under test. Actors receive `&mut W` one at a time,
+/// so no locking is needed (the real system's processes synchronized
+/// through the kernel; ours synchronize through the scheduler).
+pub trait Actor<W> {
+    /// Performs one unit of work at local time `now` and says when to
+    /// resume. Yielding a time earlier than `now` is treated as `now`.
+    fn step(&mut self, world: &mut W, now: SimTime) -> Step;
+
+    /// A short label for traces and error messages.
+    fn name(&self) -> &str {
+        "actor"
+    }
+}
+
+struct Slot<W> {
+    actor: Box<dyn Actor<W>>,
+    local: SimTime,
+    done: bool,
+}
+
+/// Runs a set of [`Actor`]s to completion in virtual-time order.
+///
+/// # Examples
+///
+/// ```
+/// use hl_sim::{Actor, Scheduler, Step};
+///
+/// struct Ticker { left: u32, period: u64 }
+/// impl Actor<Vec<u64>> for Ticker {
+///     fn step(&mut self, log: &mut Vec<u64>, now: u64) -> Step {
+///         log.push(now);
+///         self.left -= 1;
+///         if self.left == 0 { Step::Done } else { Step::Yield(now + self.period) }
+///     }
+/// }
+///
+/// let mut sched = Scheduler::new();
+/// sched.spawn_at(0, Ticker { left: 2, period: 10 });
+/// sched.spawn_at(5, Ticker { left: 2, period: 10 });
+/// let mut log = Vec::new();
+/// sched.run(&mut log);
+/// assert_eq!(log, vec![0, 5, 10, 15]);
+/// ```
+pub struct Scheduler<W> {
+    slots: Vec<Slot<W>>,
+    /// Safety valve against actors that never advance time.
+    max_steps: u64,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            max_steps: 500_000_000,
+        }
+    }
+
+    /// Overrides the runaway-actor step limit (default 5·10⁸).
+    pub fn with_max_steps(mut self, max: u64) -> Self {
+        self.max_steps = max;
+        self
+    }
+
+    /// Adds an actor that first runs at time `at`.
+    pub fn spawn_at<A: Actor<W> + 'static>(&mut self, at: SimTime, actor: A) {
+        self.slots.push(Slot {
+            actor: Box::new(actor),
+            local: at,
+            done: false,
+        });
+    }
+
+    /// Returns how many actors have not yet finished.
+    pub fn live_actors(&self) -> usize {
+        self.slots.iter().filter(|s| !s.done).count()
+    }
+
+    /// Runs until every actor is done. Returns the final virtual time
+    /// (the largest local time reached by any actor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step limit is exceeded, which indicates an actor that
+    /// yields without ever advancing its local time.
+    pub fn run(&mut self, world: &mut W) -> SimTime {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs until all actors are done or the next runnable actor's local
+    /// time exceeds `horizon`. Returns the furthest local time reached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step limit is exceeded (a stuck actor).
+    pub fn run_until(&mut self, world: &mut W, horizon: SimTime) -> SimTime {
+        let mut steps: u64 = 0;
+        let mut furthest: SimTime = 0;
+        loop {
+            let next = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| !s.done)
+                .min_by_key(|(_, s)| s.local)
+                .map(|(i, s)| (i, s.local));
+            let Some((idx, now)) = next else {
+                return furthest;
+            };
+            if now > horizon {
+                return furthest;
+            }
+            furthest = furthest.max(now);
+            steps += 1;
+            assert!(
+                steps <= self.max_steps,
+                "scheduler exceeded {} steps; actor `{}` appears stuck at t={}",
+                self.max_steps,
+                self.slots[idx].actor.name(),
+                now
+            );
+            let slot = &mut self.slots[idx];
+            match slot.actor.step(world, now) {
+                Step::Yield(t) => slot.local = t.max(now),
+                Step::Done => {
+                    slot.done = true;
+                    furthest = furthest.max(slot.local);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Once(SimTime);
+    impl Actor<Vec<(SimTime, SimTime)>> for Once {
+        fn step(&mut self, log: &mut Vec<(SimTime, SimTime)>, now: SimTime) -> Step {
+            log.push((self.0, now));
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn runs_in_time_order() {
+        let mut s = Scheduler::new();
+        s.spawn_at(30, Once(30));
+        s.spawn_at(10, Once(10));
+        s.spawn_at(20, Once(20));
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![(10, 10), (20, 20), (30, 30)]);
+    }
+
+    struct Backwards;
+    impl Actor<()> for Backwards {
+        fn step(&mut self, _w: &mut (), now: SimTime) -> Step {
+            if now >= 5 {
+                Step::Done
+            } else {
+                // Tries to travel back in time; scheduler must clamp.
+                Step::Yield(now.saturating_sub(10).max(now + 1))
+            }
+        }
+    }
+
+    #[test]
+    fn yield_in_past_is_clamped() {
+        let mut s = Scheduler::new();
+        s.spawn_at(0, Backwards);
+        s.run(&mut ());
+    }
+
+    struct Stuck;
+    impl Actor<()> for Stuck {
+        fn step(&mut self, _w: &mut (), now: SimTime) -> Step {
+            Step::Yield(now)
+        }
+        fn name(&self) -> &str {
+            "stuck"
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stuck")]
+    fn runaway_actor_panics() {
+        let mut s = Scheduler::new().with_max_steps(100);
+        s.spawn_at(0, Stuck);
+        s.run(&mut ());
+    }
+
+    struct Ticker {
+        left: u32,
+    }
+    impl Actor<()> for Ticker {
+        fn step(&mut self, _w: &mut (), now: SimTime) -> Step {
+            if self.left == 0 {
+                return Step::Done;
+            }
+            self.left -= 1;
+            Step::Yield(now + 100)
+        }
+    }
+
+    #[test]
+    fn horizon_stops_early() {
+        let mut s = Scheduler::new();
+        s.spawn_at(0, Ticker { left: 1000 });
+        let t = s.run_until(&mut (), 250);
+        assert_eq!(t, 200);
+        assert_eq!(s.live_actors(), 1);
+        // Resuming continues from where we stopped.
+        let t = s.run(&mut ());
+        assert_eq!(t, 100_000);
+        assert_eq!(s.live_actors(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Simulated storage devices for the HighLight reproduction.
+//!
+//! The paper's testbed (§7) was an HP 9000/370 with DEC RZ57/RZ58 SCSI
+//! disks, an HP 7958A HPIB disk, and an HP 6300 magneto-optical changer,
+//! all of whose raw throughput it reports in Table 5. This crate provides:
+//!
+//! - calibrated performance [`profile`]s for those devices (and for the
+//!   Metrum, Exabyte, and Sony jukebox media Sequoia planned to use),
+//! - a seek/rotation/transfer [`disk`] model with a shared-arm resource so
+//!   that interleaved access streams pay seeks (the paper's "disk arm
+//!   contention"),
+//! - a SCSI [`bus`] that serializes transfers and is *hogged* during media
+//!   swaps (the paper notes its autochanger driver never disconnects),
+//! - sequential [`tape`] transports with end-of-medium signalling,
+//! - concatenating and striping pseudo-devices ([`stripe`], §6.6),
+//! - sparse in-memory [`backing`] stores so terabyte address spaces cost
+//!   only what is actually written, and
+//! - fault injection for the reliability experiments (§10).
+
+pub mod backing;
+pub mod blockdev;
+pub mod bus;
+pub mod disk;
+pub mod error;
+pub mod profile;
+pub mod stripe;
+pub mod tape;
+
+pub use backing::SparseStore;
+pub use blockdev::{BlockDev, IoSlot};
+pub use bus::ScsiBus;
+pub use disk::{Disk, DiskStats};
+pub use error::DevError;
+pub use profile::{DiskProfile, TapeProfile};
+pub use stripe::{Concat, Stripe};
+pub use tape::TapeDrive;
+
+/// The filesystem block size used throughout the reproduction (§6.2:
+/// HighLight's pointers address 4-kilobyte units).
+pub const BLOCK_SIZE: usize = 4096;

@@ -1,0 +1,383 @@
+//! Concatenating and striping pseudo-device drivers.
+//!
+//! §6.6: "a striped disk driver provides a single device interface built
+//! on top of several independent disks (by mapping block addresses and
+//! calling the drivers for the component disks)". HighLight concatenates
+//! its disk farm into one block address space ([`Concat`]); [`Stripe`]
+//! additionally interleaves at a fixed unit for parallel transfers.
+
+use hl_sim::time::SimTime;
+
+use crate::blockdev::{check_io, BlockDev, IoSlot};
+use crate::disk::Disk;
+use crate::error::DevError;
+
+/// Concatenation: component 0 owns blocks `0..n0`, component 1 owns
+/// `n0..n0+n1`, and so on (Figure 4's "disk 0, disk 1" bottom region).
+///
+/// # Examples
+///
+/// ```
+/// use hl_vdev::{BlockDev, Concat, Disk, DiskProfile};
+///
+/// let c = Concat::new(vec![
+///     Disk::new(DiskProfile::RZ57, 100, None),
+///     Disk::new(DiskProfile::RZ58, 200, None),
+/// ]);
+/// assert_eq!(c.nblocks(), 300);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Concat {
+    disks: Vec<Disk>,
+    /// Exclusive upper block bound of each component.
+    bounds: Vec<u64>,
+    block_size: usize,
+}
+
+impl Concat {
+    /// Builds a concatenated device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is empty or the components disagree on block size.
+    pub fn new(disks: Vec<Disk>) -> Self {
+        assert!(!disks.is_empty(), "Concat needs at least one disk");
+        let block_size = disks[0].block_size();
+        let mut bounds = Vec::with_capacity(disks.len());
+        let mut total = 0;
+        for d in &disks {
+            assert_eq!(d.block_size(), block_size, "mixed block sizes");
+            total += d.nblocks();
+            bounds.push(total);
+        }
+        Self {
+            disks,
+            bounds,
+            block_size,
+        }
+    }
+
+    /// The component disks.
+    pub fn disks(&self) -> &[Disk] {
+        &self.disks
+    }
+
+    /// Maps a linear block to `(component index, block within component)`.
+    pub fn locate(&self, block: u64) -> Option<(usize, u64)> {
+        let idx = self.bounds.partition_point(|&b| b <= block);
+        if idx >= self.disks.len() {
+            return None;
+        }
+        let base = if idx == 0 { 0 } else { self.bounds[idx - 1] };
+        Some((idx, block - base))
+    }
+
+    /// Splits `(block, len_blocks)` into per-component contiguous runs.
+    fn runs(&self, block: u64, count: u64) -> Vec<(usize, u64, u64, u64)> {
+        // (component, local block, run length, offset in request blocks)
+        let mut out = Vec::new();
+        let mut b = block;
+        let mut done = 0;
+        while done < count {
+            let (idx, local) = self.locate(b).expect("checked by check_io");
+            let comp_len = self.disks[idx].nblocks();
+            let run = (comp_len - local).min(count - done);
+            out.push((idx, local, run, done));
+            b += run;
+            done += run;
+        }
+        out
+    }
+}
+
+impl BlockDev for Concat {
+    fn nblocks(&self) -> u64 {
+        *self.bounds.last().expect("nonempty")
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read(&self, at: SimTime, block: u64, buf: &mut [u8]) -> Result<IoSlot, DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let mut start = SimTime::MAX;
+        let mut end = at;
+        for (idx, local, run, off) in self.runs(block, count) {
+            let lo = off as usize * self.block_size;
+            let hi = lo + run as usize * self.block_size;
+            let slot = self.disks[idx].read(at, local, &mut buf[lo..hi])?;
+            start = start.min(slot.start);
+            end = end.max(slot.end);
+        }
+        Ok(IoSlot {
+            start: start.min(end),
+            end,
+        })
+    }
+
+    fn write(&self, at: SimTime, block: u64, buf: &[u8]) -> Result<IoSlot, DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let mut start = SimTime::MAX;
+        let mut end = at;
+        for (idx, local, run, off) in self.runs(block, count) {
+            let lo = off as usize * self.block_size;
+            let hi = lo + run as usize * self.block_size;
+            let slot = self.disks[idx].write(at, local, &buf[lo..hi])?;
+            start = start.min(slot.start);
+            end = end.max(slot.end);
+        }
+        Ok(IoSlot {
+            start: start.min(end),
+            end,
+        })
+    }
+
+    fn peek(&self, block: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        for (idx, local, run, off) in self.runs(block, count) {
+            let lo = off as usize * self.block_size;
+            let hi = lo + run as usize * self.block_size;
+            self.disks[idx].peek(local, &mut buf[lo..hi])?;
+        }
+        Ok(())
+    }
+
+    fn poke(&self, block: u64, buf: &[u8]) -> Result<(), DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        for (idx, local, run, off) in self.runs(block, count) {
+            let lo = off as usize * self.block_size;
+            let hi = lo + run as usize * self.block_size;
+            self.disks[idx].poke(local, &buf[lo..hi])?;
+        }
+        Ok(())
+    }
+}
+
+/// Striping: block `b` lives on component `(b / unit) % n`, giving
+/// round-robin interleave at `unit`-block granularity.
+#[derive(Clone, Debug)]
+pub struct Stripe {
+    disks: Vec<Disk>,
+    unit: u64,
+    per_disk: u64,
+    block_size: usize,
+}
+
+impl Stripe {
+    /// Builds a striped device with `unit`-block interleave.
+    ///
+    /// All components must be the same size; capacity is
+    /// `n * min(component blocks)` rounded down to a stripe multiple.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `disks` is empty, `unit` is zero, or block sizes differ.
+    pub fn new(disks: Vec<Disk>, unit: u64) -> Self {
+        assert!(!disks.is_empty() && unit > 0);
+        let block_size = disks[0].block_size();
+        let per_disk = disks
+            .iter()
+            .map(|d| {
+                assert_eq!(d.block_size(), block_size, "mixed block sizes");
+                d.nblocks()
+            })
+            .min()
+            .expect("nonempty")
+            / unit
+            * unit;
+        Self {
+            disks,
+            unit,
+            per_disk,
+            block_size,
+        }
+    }
+
+    /// Maps a linear block to `(component, block within component)`.
+    pub fn locate(&self, block: u64) -> (usize, u64) {
+        let stripe = block / self.unit;
+        let within = block % self.unit;
+        let disk = (stripe % self.disks.len() as u64) as usize;
+        let row = stripe / self.disks.len() as u64;
+        (disk, row * self.unit + within)
+    }
+
+    /// Splits a request into per-component stripe-unit runs:
+    /// `(component, local block, run length, request offset blocks)`.
+    fn unit_runs(&self, block: u64, count: u64) -> Vec<(usize, u64, u64, u64)> {
+        let mut out = Vec::new();
+        let mut done = 0;
+        while done < count {
+            let b = block + done;
+            let (disk, local) = self.locate(b);
+            // Run to the end of this stripe unit (contiguous on one disk).
+            let unit_left = self.unit - b % self.unit;
+            let run = unit_left.min(count - done);
+            out.push((disk, local, run, done));
+            done += run;
+        }
+        out
+    }
+
+    fn each_block<F>(&self, block: u64, count: u64, mut f: F) -> Result<SimTime, DevError>
+    where
+        F: FnMut(&Disk, u64, usize) -> Result<SimTime, DevError>,
+    {
+        let mut end = 0;
+        for i in 0..count {
+            let (disk, local) = self.locate(block + i);
+            end = end.max(f(&self.disks[disk], local, i as usize)?);
+        }
+        Ok(end)
+    }
+}
+
+impl BlockDev for Stripe {
+    fn nblocks(&self) -> u64 {
+        self.per_disk * self.disks.len() as u64
+    }
+
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn read(&self, at: SimTime, block: u64, buf: &mut [u8]) -> Result<IoSlot, DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let bs = self.block_size;
+        // Per-unit dispatch; component arms run in parallel.
+        let mut end = at;
+        for (disk, local, run, off) in self.unit_runs(block, count) {
+            let lo = off as usize * bs;
+            let hi = lo + run as usize * bs;
+            let slot = self.disks[disk].read(at, local, &mut buf[lo..hi])?;
+            end = end.max(slot.end);
+        }
+        Ok(IoSlot { start: at, end })
+    }
+
+    fn write(&self, at: SimTime, block: u64, buf: &[u8]) -> Result<IoSlot, DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let bs = self.block_size;
+        let mut end = at;
+        for (disk, local, run, off) in self.unit_runs(block, count) {
+            let lo = off as usize * bs;
+            let hi = lo + run as usize * bs;
+            let slot = self.disks[disk].write(at, local, &buf[lo..hi])?;
+            end = end.max(slot.end);
+        }
+        Ok(IoSlot { start: at, end })
+    }
+
+    fn peek(&self, block: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let bs = self.block_size;
+        self.each_block(block, count, |d, local, i| {
+            d.peek(local, &mut buf[i * bs..(i + 1) * bs])?;
+            Ok(0)
+        })?;
+        Ok(())
+    }
+
+    fn poke(&self, block: u64, buf: &[u8]) -> Result<(), DevError> {
+        let count = check_io(self.nblocks(), self.block_size, block, buf.len())?;
+        let bs = self.block_size;
+        self.each_block(block, count, |d, local, i| {
+            d.poke(local, &buf[i * bs..(i + 1) * bs])?;
+            Ok(0)
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::DiskProfile;
+
+    fn disks(n: usize, blocks: u64) -> Vec<Disk> {
+        (0..n)
+            .map(|_| Disk::new(DiskProfile::RZ57, blocks, None))
+            .collect()
+    }
+
+    #[test]
+    fn concat_locates_across_components() {
+        let c = Concat::new(disks(3, 100));
+        assert_eq!(c.nblocks(), 300);
+        assert_eq!(c.locate(0), Some((0, 0)));
+        assert_eq!(c.locate(99), Some((0, 99)));
+        assert_eq!(c.locate(100), Some((1, 0)));
+        assert_eq!(c.locate(299), Some((2, 99)));
+        assert_eq!(c.locate(300), None);
+    }
+
+    #[test]
+    fn concat_io_spanning_a_boundary_round_trips() {
+        let c = Concat::new(disks(2, 100));
+        let data: Vec<u8> = (0..3 * 4096).map(|i| (i % 251) as u8).collect();
+        c.poke(99, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        c.peek(99, &mut back).unwrap();
+        assert_eq!(back, data);
+        // The second component received blocks 0 and 1.
+        let mut one = vec![0u8; 4096];
+        c.disks()[1].peek(0, &mut one).unwrap();
+        assert_eq!(&one[..], &data[4096..8192]);
+    }
+
+    #[test]
+    fn concat_timed_io_advances_time() {
+        let c = Concat::new(disks(2, 100));
+        let buf = vec![0u8; 4096];
+        let s = c.write(0, 99, &buf).unwrap();
+        assert!(s.end > 0);
+        assert!(matches!(
+            c.write(0, 199, &vec![0u8; 2 * 4096]),
+            Err(DevError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn stripe_round_robins_blocks() {
+        let s = Stripe::new(disks(2, 100), 1);
+        assert_eq!(s.locate(0), (0, 0));
+        assert_eq!(s.locate(1), (1, 0));
+        assert_eq!(s.locate(2), (0, 1));
+        assert_eq!(s.nblocks(), 200);
+    }
+
+    #[test]
+    fn stripe_respects_interleave_unit() {
+        let s = Stripe::new(disks(2, 100), 4);
+        assert_eq!(s.locate(3), (0, 3));
+        assert_eq!(s.locate(4), (1, 0));
+        assert_eq!(s.locate(8), (0, 4));
+    }
+
+    #[test]
+    fn stripe_round_trips_data() {
+        let s = Stripe::new(disks(3, 64), 2);
+        let data: Vec<u8> = (0..8 * 4096).map(|i| (i % 239) as u8).collect();
+        s.poke(5, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        s.peek(5, &mut back).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn stripe_parallelizes_large_transfers() {
+        // With two arms, a large interleaved write finishes faster than on
+        // one disk.
+        let solo = Disk::new(DiskProfile::RZ57, 10_000, None);
+        let buf = vec![0u8; 256 * 4096];
+        let solo_end = solo.write(0, 0, &buf).unwrap().end;
+
+        let s = Stripe::new(disks(2, 10_000), 16);
+        let stripe_end = s.write(0, 0, &buf).unwrap().end;
+        assert!(
+            stripe_end < solo_end,
+            "stripe {stripe_end} vs solo {solo_end}"
+        );
+    }
+}

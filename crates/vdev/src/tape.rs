@@ -1,0 +1,303 @@
+//! Sequential tape transports.
+//!
+//! Tapes differ from disks in three ways that matter to HighLight (§6.5):
+//! access is positional and streaming, positioning is very slow, and the
+//! *effective* capacity is uncertain when device-level compression is on —
+//! a volume may report end-of-medium early, at which point HighLight marks
+//! it full and rewrites the last partial segment onto the next volume
+//! (§6.3).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use hl_sim::time::SimTime;
+use hl_sim::Resource;
+
+use crate::backing::SparseStore;
+use crate::error::DevError;
+use crate::profile::TapeProfile;
+
+#[derive(Debug)]
+struct Inner {
+    profile: TapeProfile,
+    block_size: usize,
+    /// Effective capacity in bytes (nominal × compression outcome).
+    effective_capacity: u64,
+    store: RefCell<SparseStore>,
+    /// Head position in bytes from beginning-of-tape.
+    position: Cell<u64>,
+    /// High-water mark of bytes written (tape grows front-to-back).
+    written: Cell<u64>,
+    transport: Resource,
+    loaded: Cell<bool>,
+    failed: Cell<bool>,
+}
+
+/// A tape volume loaded into (or ejected from) a transport.
+///
+/// The transport and the medium are modelled together: HighLight's
+/// Footprint layer tracks which cartridge is in which drive, and hands out
+/// a `TapeDrive` only while loaded.
+#[derive(Clone, Debug)]
+pub struct TapeDrive {
+    inner: Rc<Inner>,
+}
+
+impl TapeDrive {
+    /// Creates a rewound, loaded tape with the given effective capacity
+    /// (pass `profile.capacity` for nominal, less to simulate a
+    /// compression shortfall).
+    pub fn new(profile: TapeProfile, effective_capacity: u64, block_size: usize) -> Self {
+        Self {
+            inner: Rc::new(Inner {
+                profile,
+                block_size,
+                effective_capacity,
+                store: RefCell::new(SparseStore::new(block_size)),
+                position: Cell::new(0),
+                written: Cell::new(0),
+                transport: Resource::new(profile.name),
+                loaded: Cell::new(true),
+                failed: Cell::new(false),
+            }),
+        }
+    }
+
+    /// The tape's profile.
+    pub fn profile(&self) -> &TapeProfile {
+        &self.inner.profile
+    }
+
+    /// Bytes written so far (the tape's logical length).
+    pub fn written(&self) -> u64 {
+        self.inner.written.get()
+    }
+
+    /// Effective capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.effective_capacity
+    }
+
+    /// Marks the medium failed: all subsequent I/O errors out (§10).
+    pub fn fail_media(&self) {
+        self.inner.failed.set(true);
+    }
+
+    /// Unloads the tape; I/O fails until [`TapeDrive::load`].
+    pub fn unload(&self) {
+        self.inner.loaded.set(false);
+    }
+
+    /// (Re)loads the tape, rewound.
+    pub fn load(&self) {
+        self.inner.loaded.set(true);
+        self.inner.position.set(0);
+    }
+
+    fn ready(&self) -> Result<(), DevError> {
+        if self.inner.failed.get() {
+            return Err(DevError::MediaFailure);
+        }
+        if !self.inner.loaded.get() {
+            return Err(DevError::Offline);
+        }
+        Ok(())
+    }
+
+    /// Timed positioning to byte offset `to`.
+    pub fn seek(&self, at: SimTime, to: u64) -> Result<(SimTime, SimTime), DevError> {
+        self.ready()?;
+        let from = self.inner.position.get();
+        let dist = from.abs_diff(to);
+        let dur = self.inner.profile.seek_time(dist);
+        let slot = self.inner.transport.acquire(at, dur);
+        self.inner.position.set(to);
+        Ok(slot)
+    }
+
+    /// Timed rewind to beginning-of-tape.
+    pub fn rewind(&self, at: SimTime) -> Result<(SimTime, SimTime), DevError> {
+        self.ready()?;
+        let slot = self.inner.transport.acquire(at, self.inner.profile.rewind);
+        self.inner.position.set(0);
+        Ok(slot)
+    }
+
+    /// Timed streaming read of `buf.len()` bytes at byte offset `offset`
+    /// (implicit seek if the head is elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` or `buf.len()` is not block-aligned.
+    pub fn read_at(
+        &self,
+        at: SimTime,
+        offset: u64,
+        buf: &mut [u8],
+    ) -> Result<(SimTime, SimTime), DevError> {
+        self.ready()?;
+        let bs = self.inner.block_size as u64;
+        assert!(
+            offset.is_multiple_of(bs) && (buf.len() as u64).is_multiple_of(bs),
+            "unaligned tape I/O"
+        );
+        if offset + buf.len() as u64 > self.inner.written.get() {
+            return Err(DevError::OutOfRange {
+                block: offset / bs,
+                count: buf.len() as u64 / bs,
+                capacity: self.inner.written.get() / bs,
+            });
+        }
+        let (s, _) = self.seek(at, offset)?;
+        let dur = self.inner.profile.transfer(buf.len() as u64);
+        let (_, end) = self.inner.transport.acquire(s, dur);
+        self.inner
+            .store
+            .borrow()
+            .read_run(offset / bs, buf.len() as u64 / bs, buf);
+        self.inner.position.set(offset + buf.len() as u64);
+        Ok((s, end))
+    }
+
+    /// Timed append-style write at byte offset `offset`.
+    ///
+    /// Returns [`DevError::EndOfMedium`] (with the byte count that did
+    /// fit) when the effective capacity is reached — the caller re-writes
+    /// the remainder onto the next volume, as §6.3 describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` or `buf.len()` is not block-aligned.
+    pub fn write_at(
+        &self,
+        at: SimTime,
+        offset: u64,
+        buf: &[u8],
+    ) -> Result<(SimTime, SimTime), DevError> {
+        self.ready()?;
+        let bs = self.inner.block_size as u64;
+        assert!(
+            offset.is_multiple_of(bs) && (buf.len() as u64).is_multiple_of(bs),
+            "unaligned tape I/O"
+        );
+        let cap = self.inner.effective_capacity;
+        if offset >= cap {
+            return Err(DevError::EndOfMedium { written: 0 });
+        }
+        let fit = (cap - offset).min(buf.len() as u64) / bs * bs;
+        let (s, _) = self.seek(at, offset)?;
+        let dur = self.inner.profile.transfer(fit);
+        let (_, end) = self.inner.transport.acquire(s, dur);
+        self.inner
+            .store
+            .borrow_mut()
+            .write_run(offset / bs, fit / bs, &buf[..fit as usize]);
+        self.inner.position.set(offset + fit);
+        self.inner
+            .written
+            .set(self.inner.written.get().max(offset + fit));
+        if fit < buf.len() as u64 {
+            return Err(DevError::EndOfMedium { written: fit });
+        }
+        Ok((s, end))
+    }
+
+    /// Untimed read for verification and recovery tooling.
+    pub fn peek_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        self.ready()?;
+        let bs = self.inner.block_size as u64;
+        assert!(offset.is_multiple_of(bs) && (buf.len() as u64).is_multiple_of(bs));
+        self.inner
+            .store
+            .borrow()
+            .read_run(offset / bs, buf.len() as u64 / bs, buf);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(cap_blocks: u64) -> TapeDrive {
+        TapeDrive::new(TapeProfile::METRUM, cap_blocks * 4096, 4096)
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let t = drive(100);
+        let data = vec![0x5au8; 8192];
+        let (_, end) = t.write_at(0, 0, &data).unwrap();
+        assert!(end > 0);
+        let mut back = vec![0u8; 8192];
+        t.read_at(end, 0, &mut back).unwrap();
+        assert_eq!(back, data);
+        assert_eq!(t.written(), 8192);
+    }
+
+    #[test]
+    fn end_of_medium_reports_partial_write() {
+        let t = drive(3);
+        let data = vec![1u8; 4 * 4096];
+        match t.write_at(0, 0, &data) {
+            Err(DevError::EndOfMedium { written }) => assert_eq!(written, 3 * 4096),
+            other => panic!("expected EndOfMedium, got {other:?}"),
+        }
+        // The part that fit is readable.
+        let mut back = vec![0u8; 3 * 4096];
+        t.read_at(0, 0, &mut back).unwrap();
+        assert!(back.iter().all(|&b| b == 1));
+        // Writing past the end yields EndOfMedium with zero written.
+        assert!(matches!(
+            t.write_at(0, 3 * 4096, &data[..4096]),
+            Err(DevError::EndOfMedium { written: 0 })
+        ));
+    }
+
+    #[test]
+    fn reads_past_written_data_fail() {
+        let t = drive(100);
+        t.write_at(0, 0, &vec![0u8; 4096]).unwrap();
+        let mut buf = vec![0u8; 8192];
+        assert!(matches!(
+            t.read_at(0, 0, &mut buf),
+            Err(DevError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn seeks_cost_time_proportional_to_distance() {
+        let t = drive(100_000);
+        let mb = vec![0u8; 1024 * 1024];
+        let (_, end) = t.write_at(0, 0, &mb).unwrap();
+        let mut t_near = end;
+        // Read from the start: head is at 1 MB, must travel back.
+        let mut buf = vec![0u8; 4096];
+        let (s, e) = t.read_at(t_near, 0, &mut buf).unwrap();
+        assert!(e - s >= TapeProfile::METRUM.seek_per_mb);
+        t_near = e;
+        // Sequential continuation: no seek component.
+        let (s2, e2) = t.read_at(t_near, 4096, &mut buf).unwrap();
+        assert!(e2 - s2 < TapeProfile::METRUM.seek_per_mb + 10_000);
+    }
+
+    #[test]
+    fn unloaded_or_failed_media_refuse_io() {
+        let t = drive(10);
+        t.unload();
+        assert_eq!(t.write_at(0, 0, &vec![0u8; 4096]), Err(DevError::Offline));
+        t.load();
+        t.write_at(0, 0, &vec![0u8; 4096]).unwrap();
+        t.fail_media();
+        let mut buf = vec![0u8; 4096];
+        assert_eq!(t.read_at(0, 0, &mut buf), Err(DevError::MediaFailure));
+    }
+
+    #[test]
+    fn rewind_costs_the_profile_rewind_time() {
+        let t = drive(10_000);
+        t.write_at(0, 0, &vec![0u8; 1024 * 1024]).unwrap();
+        let (s, e) = t.rewind(1_000_000_000).unwrap();
+        assert_eq!(e - s, TapeProfile::METRUM.rewind);
+    }
+}

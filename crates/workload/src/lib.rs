@@ -1,0 +1,18 @@
+//! Workload generators for the HighLight reproduction.
+//!
+//! - [`large_object`]: the Stonebraker/Olson large-object benchmark the
+//!   paper runs in §7.1 (51.2 MB file of 12 500 × 4 KB frames; sequential,
+//!   random, and 80/20-locality read/replace phases);
+//! - [`sequoia`]: Sequoia-flavoured scenarios (§2, §8.2) — satellite
+//!   image archives, database page access, simulation checkpoints;
+//! - [`trees`]: software-development directory trees for the namespace
+//!   policy (§5.3).
+//!
+//! All generators are deterministic given a seed (the paper seeded
+//! `random()` with time-of-day + pid; reproducibility wins here).
+
+pub mod large_object;
+pub mod sequoia;
+pub mod trees;
+
+pub use large_object::{LargeObject, Phase};

@@ -1,0 +1,110 @@
+//! Software-development directory trees (§5.3's namespace units).
+//!
+//! "This is useful primarily in an environment where whole subtrees are
+//! related and accessed at nearly the same time, such as software
+//! development environments."
+
+use hl_sim::DetRng;
+
+/// One generated file in a tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TreeFile {
+    /// Full path.
+    pub path: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// The project (unit) the file belongs to.
+    pub project: String,
+}
+
+/// Generates `projects` project subtrees under `root`, each with a few
+/// nested directories and many small files plus the odd large artifact.
+pub fn software_tree(
+    seed: u64,
+    root: &str,
+    projects: u32,
+    files_per_project: u32,
+) -> Vec<TreeFile> {
+    let mut rng = DetRng::new(seed);
+    let mut out = Vec::new();
+    let subdirs = ["src", "doc", "obj"];
+    for p in 0..projects {
+        let project = format!("proj{p:02}");
+        for f in 0..files_per_project {
+            let sub = subdirs[(rng.below(subdirs.len() as u64)) as usize];
+            // Mostly small sources, occasionally a big object file.
+            let size = if rng.chance(0.15) {
+                64 * 1024 + rng.below(192 * 1024)
+            } else {
+                512 + rng.below(24 * 1024)
+            };
+            out.push(TreeFile {
+                path: format!("{root}/{project}/{sub}/f{f:03}"),
+                size,
+                project: project.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// All directories a tree needs, parents before children.
+pub fn directories(files: &[TreeFile]) -> Vec<String> {
+    let mut dirs: Vec<String> = Vec::new();
+    for f in files {
+        let mut acc = String::new();
+        for comp in f
+            .path
+            .rsplit_once('/')
+            .expect("file has a directory")
+            .0
+            .split('/')
+            .filter(|c| !c.is_empty())
+        {
+            acc.push('/');
+            acc.push_str(comp);
+            if !dirs.contains(&acc) {
+                dirs.push(acc.clone());
+            }
+        }
+    }
+    dirs.sort_by_key(|d| d.matches('/').count());
+    dirs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_groups_by_project() {
+        let files = software_tree(1, "/work", 3, 10);
+        assert_eq!(files.len(), 30);
+        assert!(files.iter().all(|f| f.path.starts_with("/work/proj")));
+        let p0: Vec<_> = files.iter().filter(|f| f.project == "proj00").collect();
+        assert_eq!(p0.len(), 10);
+    }
+
+    #[test]
+    fn directories_come_parents_first() {
+        let files = software_tree(2, "/w", 2, 5);
+        let dirs = directories(&files);
+        assert!(dirs.contains(&"/w".to_string()));
+        let root_pos = dirs.iter().position(|d| d == "/w").unwrap();
+        let deep_pos = dirs
+            .iter()
+            .position(|d| d.matches('/').count() == 3)
+            .unwrap();
+        assert!(root_pos < deep_pos);
+    }
+
+    #[test]
+    fn sizes_are_bounded_and_deterministic() {
+        let a = software_tree(3, "/x", 1, 50);
+        let b = software_tree(3, "/x", 1, 50);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|f| f.size >= 512 && f.size < 256 * 1024));
+        // Some big artifacts exist.
+        assert!(a.iter().any(|f| f.size > 64 * 1024));
+    }
+}

@@ -1,0 +1,7 @@
+pub use highlight;
+pub use hl_ffs;
+pub use hl_footprint;
+pub use hl_lfs;
+pub use hl_sim;
+pub use hl_vdev;
+pub use hl_workload;
