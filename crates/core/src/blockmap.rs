@@ -17,6 +17,7 @@ use hl_sim::time::SimTime;
 use hl_vdev::{BlockDev, DevError, IoSlot, BLOCK_SIZE};
 
 use crate::addr::UniformMap;
+use crate::fault::HlError;
 use crate::segcache::{LineState, SegCache};
 use crate::service::TertiaryIo;
 
@@ -123,7 +124,10 @@ impl BlockMapDev {
                 // Writes land only in staging lines the migrator set up.
                 return Err(DevError::Offline);
             }
-            None => self.tio.demand_fetch(at, seg)?,
+            // The BlockDev boundary speaks DevError; an exhausted
+            // recovery collapses to Offline (the full fault trail stays
+            // in the service's FaultLog).
+            None => self.tio.demand_fetch(at, seg).map_err(HlError::into_dev)?,
         };
         let off = block - self.map.seg_base(seg) as u64;
         Ok((self.map.seg_base(disk_seg) as u64 + off, ready))

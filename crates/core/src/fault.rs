@@ -1,0 +1,372 @@
+//! Typed fault reporting for the tertiary I/O path (§10).
+//!
+//! The paper's answer to tertiary media failures is replication plus
+//! whole-segment re-fetch; what it leaves implicit is what the system
+//! tells its callers when even that fails. Here every fault the recovery
+//! layer observes and every action it takes is recorded twice:
+//!
+//! - per-request, as an ordered [`FaultStep`] *trail* carried inside
+//!   [`HlError::SegmentUnavailable`] so a failed demand fetch explains
+//!   exactly which copies were tried, what each returned, and what the
+//!   policy did about it;
+//! - globally, in the queryable [`FaultLog`], whose rendered form is
+//!   deterministic — the same fault-plan seed produces a byte-identical
+//!   log, which the reliability tests assert.
+
+use hl_lfs::types::SegNo;
+use hl_sim::time::SimTime;
+use hl_vdev::DevError;
+use std::fmt;
+
+/// What the recovery policy did in response to one observed fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Retried the same copy after a backoff delay.
+    Retry {
+        /// 1-based attempt number of the upcoming retry.
+        attempt: u32,
+        /// Sim-time delay before the retry.
+        backoff: SimTime,
+    },
+    /// Moved on to the next replica home.
+    Failover,
+    /// Quarantined the copy's volume, then moved on.
+    Quarantine,
+    /// No copies left: the request failed.
+    GaveUp,
+}
+
+/// One fault the recovery layer observed while serving a request, with
+/// the action it took. A request's trail is ordered by occurrence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultStep {
+    /// When the fault was observed.
+    pub at: SimTime,
+    /// Volume of the copy being read.
+    pub vol: u32,
+    /// Segment slot of the copy being read.
+    pub slot: u32,
+    /// What the device reported.
+    pub error: DevError,
+    /// What the policy did about it.
+    pub action: RecoveryAction,
+}
+
+impl fmt::Display for FaultStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} v{}/s{} {}: ",
+            self.at, self.vol, self.slot, self.error
+        )?;
+        match self.action {
+            RecoveryAction::Retry { attempt, backoff } => {
+                write!(f, "retry #{attempt} after {backoff}")
+            }
+            RecoveryAction::Failover => write!(f, "failover"),
+            RecoveryAction::Quarantine => write!(f, "quarantine"),
+            RecoveryAction::GaveUp => write!(f, "gave up"),
+        }
+    }
+}
+
+/// Errors surfaced by the tertiary I/O engine: either a plain device
+/// error, or an exhausted recovery with its full fault trail.
+#[derive(Clone, Debug, PartialEq)]
+pub enum HlError {
+    /// A device error the recovery layer does not handle (bad buffer,
+    /// out of range, cache exhaustion, end-of-medium, ...).
+    Dev(DevError),
+    /// Every copy of a tertiary segment was tried and none could be
+    /// read. Degraded mode: cached lines keep serving, but this segment
+    /// is gone until an operator restores a copy.
+    SegmentUnavailable {
+        /// The unreachable logical tertiary segment.
+        seg: SegNo,
+        /// Everything the recovery layer tried, in order.
+        trail: Vec<FaultStep>,
+    },
+}
+
+impl HlError {
+    /// Collapses to a [`DevError`] for the `BlockDev` boundary (the
+    /// block-map pseudo-device must speak the device vocabulary; the
+    /// trail stays queryable in the [`FaultLog`]).
+    pub fn into_dev(self) -> DevError {
+        match self {
+            HlError::Dev(e) => e,
+            HlError::SegmentUnavailable { .. } => DevError::Offline,
+        }
+    }
+}
+
+impl From<DevError> for HlError {
+    fn from(e: DevError) -> HlError {
+        HlError::Dev(e)
+    }
+}
+
+impl fmt::Display for HlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlError::Dev(e) => e.fmt(f),
+            HlError::SegmentUnavailable { seg, trail } => {
+                write!(f, "tertiary segment {seg} unavailable after ")?;
+                write!(f, "{} recovery steps", trail.len())?;
+                for step in trail {
+                    write!(f, "; {step}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for HlError {}
+
+/// One entry in the global [`FaultLog`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// A device fault observed while reading a copy of `seg`.
+    ReadFault {
+        /// Observation time.
+        at: SimTime,
+        /// Logical tertiary segment.
+        seg: SegNo,
+        /// Volume of the failing copy.
+        vol: u32,
+        /// Slot of the failing copy.
+        slot: u32,
+        /// The device's report.
+        error: DevError,
+    },
+    /// A backoff retry of the same copy.
+    Retry {
+        /// Time the retry was scheduled (fault time; the retry itself
+        /// runs `delay` later).
+        at: SimTime,
+        /// Logical tertiary segment.
+        seg: SegNo,
+        /// Volume retried.
+        vol: u32,
+        /// Slot retried.
+        slot: u32,
+        /// 1-based attempt number.
+        attempt: u32,
+        /// Backoff delay before the retry.
+        delay: SimTime,
+    },
+    /// Failover from one copy to the next.
+    Failover {
+        /// Failover time.
+        at: SimTime,
+        /// Logical tertiary segment.
+        seg: SegNo,
+        /// The copy given up on.
+        from: (u32, u32),
+        /// The copy tried next.
+        to: (u32, u32),
+    },
+    /// A volume was quarantined: no further reads or writes target it.
+    Quarantine {
+        /// Quarantine time.
+        at: SimTime,
+        /// The quarantined volume.
+        vol: u32,
+        /// Accumulated failure count that triggered it.
+        failures: u32,
+    },
+    /// A scrub pass wrote a fresh replica of `seg`.
+    ScrubCopy {
+        /// Completion time of the copy.
+        at: SimTime,
+        /// Logical tertiary segment.
+        seg: SegNo,
+        /// The surviving copy read.
+        from: (u32, u32),
+        /// The new copy written.
+        to: (u32, u32),
+    },
+    /// Every copy of `seg` is gone.
+    PermanentLoss {
+        /// When recovery was exhausted.
+        at: SimTime,
+        /// The lost segment.
+        seg: SegNo,
+    },
+    /// A copy-out hit end-of-medium; the volume was marked full.
+    EndOfMedium {
+        /// Event time.
+        at: SimTime,
+        /// The full volume.
+        vol: u32,
+        /// The slot that did not fit.
+        slot: u32,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultEvent::ReadFault {
+                at,
+                seg,
+                vol,
+                slot,
+                error,
+            } => write!(f, "t={at} seg={seg} v{vol}/s{slot} fault: {error}"),
+            FaultEvent::Retry {
+                at,
+                seg,
+                vol,
+                slot,
+                attempt,
+                delay,
+            } => write!(f, "t={at} seg={seg} v{vol}/s{slot} retry #{attempt} after {delay}"),
+            FaultEvent::Failover { at, seg, from, to } => write!(
+                f,
+                "t={at} seg={seg} failover v{}/s{} -> v{}/s{}",
+                from.0, from.1, to.0, to.1
+            ),
+            FaultEvent::Quarantine { at, vol, failures } => {
+                write!(f, "t={at} quarantine v{vol} after {failures} failures")
+            }
+            FaultEvent::ScrubCopy { at, seg, from, to } => write!(
+                f,
+                "t={at} seg={seg} scrub copy v{}/s{} -> v{}/s{}",
+                from.0, from.1, to.0, to.1
+            ),
+            FaultEvent::PermanentLoss { at, seg } => {
+                write!(f, "t={at} seg={seg} PERMANENT LOSS")
+            }
+            FaultEvent::EndOfMedium { at, vol, slot } => {
+                write!(f, "t={at} v{vol}/s{slot} end of medium; volume full")
+            }
+        }
+    }
+}
+
+/// The queryable, append-only record of every fault and recovery action
+/// (§10's reliability accounting, feeding the EXPERIMENTS.md table).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> FaultLog {
+        FaultLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Forgets all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// One line per event. Deterministic: a scenario replayed with the
+    /// same fault-plan seed renders a byte-identical string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trail_renders_in_order() {
+        let e = HlError::SegmentUnavailable {
+            seg: 99,
+            trail: vec![
+                FaultStep {
+                    at: 10,
+                    vol: 0,
+                    slot: 1,
+                    error: DevError::ReadError { block: 1 },
+                    action: RecoveryAction::Retry {
+                        attempt: 1,
+                        backoff: 50,
+                    },
+                },
+                FaultStep {
+                    at: 60,
+                    vol: 0,
+                    slot: 1,
+                    error: DevError::MediaFailure,
+                    action: RecoveryAction::GaveUp,
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("segment 99 unavailable"));
+        assert!(s.contains("retry #1"));
+        let retry_pos = s.find("retry #1").unwrap();
+        let gave_pos = s.find("gave up").unwrap();
+        assert!(retry_pos < gave_pos, "trail must render in order");
+    }
+
+    #[test]
+    fn into_dev_collapses_unavailable_to_offline() {
+        let e = HlError::SegmentUnavailable {
+            seg: 1,
+            trail: vec![],
+        };
+        assert_eq!(e.into_dev(), DevError::Offline);
+        assert_eq!(
+            HlError::Dev(DevError::MediaFailure).into_dev(),
+            DevError::MediaFailure
+        );
+    }
+
+    #[test]
+    fn log_renders_one_line_per_event_deterministically() {
+        let mut a = FaultLog::new();
+        let mut b = FaultLog::new();
+        for log in [&mut a, &mut b] {
+            log.push(FaultEvent::ReadFault {
+                at: 5,
+                seg: 7,
+                vol: 1,
+                slot: 2,
+                error: DevError::MediaFailure,
+            });
+            log.push(FaultEvent::Quarantine {
+                at: 5,
+                vol: 1,
+                failures: 2,
+            });
+        }
+        assert_eq!(a.render(), b.render());
+        assert_eq!(a.render().lines().count(), 2);
+        assert_eq!(a.len(), 2);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

@@ -28,9 +28,11 @@
 
 pub mod addr;
 pub mod blockmap;
+pub mod fault;
 pub mod fs;
 pub mod migrator;
 pub mod prefetch;
+pub mod recovery;
 pub mod replicas;
 pub mod segcache;
 pub mod service;
@@ -39,10 +41,12 @@ pub mod tcleaner;
 pub mod tsegfile;
 
 pub use addr::UniformMap;
+pub use fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
 pub use fs::{CopyOutMode, HighLight, HlConfig, MigrateStats, RearrangeMode};
 pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy, StpPolicy};
 pub use prefetch::PrefetchPolicy;
+pub use recovery::{RecoveryPolicy, RecoveryState};
 pub use replicas::ReplicaSet;
 pub use segcache::{EjectPolicy, SegCache};
-pub use service::{StallEvent, TertiaryIo};
+pub use service::{ScrubReport, StallEvent, SvcStats, TertiaryIo};
 pub use tsegfile::TsegTable;

@@ -275,11 +275,7 @@ impl MigrationPolicy for StpPolicy {
         target_bytes: u64,
     ) -> Result<Vec<(Vec<MigrateItem>, Option<u32>)>> {
         let mut cands = survey(fs, &self.root)?;
-        cands.sort_by(|a, b| {
-            self.score(b, now)
-                .partial_cmp(&self.score(a, now))
-                .expect("scores are finite")
-        });
+        cands.sort_by(|a, b| self.score(b, now).total_cmp(&self.score(a, now)));
         let mut out = Vec::new();
         let mut bytes = 0;
         for c in cands {
@@ -382,7 +378,7 @@ impl MigrationPolicy for NamespacePolicy {
             };
             scored.push((total as f64 * (age as f64 + 1.0), unit.clone()));
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
 
         // Emit unit batches; cluster each unit's files together so they
         // land in neighbouring segments (§5.3: "migrated units should

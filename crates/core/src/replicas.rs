@@ -99,6 +99,14 @@ impl ReplicaSet {
     pub fn replicated_segments(&self) -> usize {
         self.extra.len()
     }
+
+    /// Segments with at least one extra home, sorted so callers (the
+    /// scrub pass) walk them deterministically.
+    pub fn segments(&self) -> Vec<SegNo> {
+        let mut v: Vec<SegNo> = self.extra.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
 }
 
 #[cfg(test)]

@@ -20,9 +20,11 @@ use hl_lfs::config::AddressMap;
 use hl_lfs::types::SegNo;
 use hl_sim::time::SimTime;
 use hl_sim::PhaseTimer;
-use hl_vdev::{BlockDev, DevError};
+use hl_vdev::{BlockDev, DevError, IoSlot};
 
 use crate::addr::UniformMap;
+use crate::fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
+use crate::recovery::{RecoveryPolicy, RecoveryState};
 use crate::replicas::ReplicaSet;
 use crate::segcache::{LineState, SegCache};
 use crate::tsegfile::TsegTable;
@@ -79,6 +81,27 @@ pub struct SvcStats {
     pub fetch_time: SimTime,
     /// Total simulated time spent in copy-outs.
     pub copyout_time: SimTime,
+    /// Backoff retries of a copy after a transient fault (§10).
+    pub retries: u64,
+    /// Failovers from one replica home to the next.
+    pub failovers: u64,
+    /// Volumes quarantined after repeated or hard failures.
+    pub quarantines: u64,
+    /// Fresh replicas written by scrub passes.
+    pub scrub_copies: u64,
+    /// Fetches that exhausted every copy (segment unavailable).
+    pub permanent_losses: u64,
+}
+
+/// Outcome of one [`TertiaryIo::scrub`] pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// When the pass finished.
+    pub end: SimTime,
+    /// Fresh replica copies written.
+    pub copies_made: u32,
+    /// Segments with no surviving copy anywhere.
+    pub unrecoverable: Vec<SegNo>,
 }
 
 /// The tertiary I/O engine shared by the block-map device, the migrator,
@@ -100,6 +123,12 @@ pub struct TertiaryIo {
     notifier: RefCell<Option<StallNotifier>>,
     /// Extra copies written per copy-out (0 = no replication).
     replicate: std::cell::Cell<u32>,
+    /// Retry/failover/quarantine knobs (§10).
+    policy: std::cell::Cell<RecoveryPolicy>,
+    /// Per-volume failure strikes and quarantine set.
+    recovery: RefCell<RecoveryState>,
+    /// Append-only record of every fault and recovery action.
+    fault_log: RefCell<FaultLog>,
 }
 
 impl TertiaryIo {
@@ -134,6 +163,9 @@ impl TertiaryIo {
             replicas: RefCell::new(ReplicaSet::new()),
             replicate: std::cell::Cell::new(0),
             notifier: RefCell::new(None),
+            policy: std::cell::Cell::new(RecoveryPolicy::default()),
+            recovery: RefCell::new(RecoveryState::new()),
+            fault_log: RefCell::new(FaultLog::new()),
         }
     }
 
@@ -158,6 +190,26 @@ impl TertiaryIo {
     /// The replica table (the tertiary cleaner prunes it).
     pub fn replicas(&self) -> &RefCell<ReplicaSet> {
         &self.replicas
+    }
+
+    /// Sets the retry/failover/quarantine policy (§10).
+    pub fn set_recovery_policy(&self, p: RecoveryPolicy) {
+        self.policy.set(p);
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy.get()
+    }
+
+    /// Snapshot of the global fault/recovery log.
+    pub fn fault_log(&self) -> FaultLog {
+        self.fault_log.borrow().clone()
+    }
+
+    /// Volumes currently quarantined, sorted.
+    pub fn quarantined_volumes(&self) -> Vec<u32> {
+        self.recovery.borrow().quarantined_volumes()
     }
 
     /// The shared cache handle.
@@ -190,10 +242,12 @@ impl TertiaryIo {
         self.phases.borrow_mut().add(phase::QUEUING, dt);
     }
 
-    /// Resets phase timing and counters.
+    /// Resets phase timing, counters, and the fault log (quarantines and
+    /// failure strikes persist: they describe media, not accounting).
     pub fn reset_accounting(&self) {
         *self.phases.borrow_mut() = PhaseTimer::new();
         *self.stats.borrow_mut() = SvcStats::default();
+        self.fault_log.borrow_mut().clear();
     }
 
     /// Counter snapshot.
@@ -201,22 +255,171 @@ impl TertiaryIo {
         *self.stats.borrow()
     }
 
+    /// All readable homes of `tert_seg`, "closest" copies first (§5.4:
+    /// homes on already-loaded volumes beat ones behind a media swap)
+    /// and quarantined volumes excluded.
+    fn candidate_homes(&self, tert_seg: SegNo) -> Vec<(u32, u32)> {
+        let homes = self.replicas.borrow().homes(&self.map, tert_seg);
+        let loaded = self.jukebox.loaded_volumes();
+        let rec = self.recovery.borrow();
+        let mut ordered: Vec<(u32, u32)> = Vec::with_capacity(homes.len());
+        ordered.extend(homes.iter().filter(|(v, _)| loaded.contains(&Some(*v))));
+        ordered.extend(homes.iter().filter(|(v, _)| !loaded.contains(&Some(*v))));
+        ordered.retain(|&(v, _)| !rec.is_quarantined(v));
+        ordered
+    }
+
+    /// Quarantines `vol`: no further reads or writes target it. Its
+    /// replica records are dropped (the scrub pass restores the copy
+    /// count elsewhere) and it is marked full so no copy-out or replica
+    /// write allocates on it.
+    fn quarantine_volume(&self, at: SimTime, vol: u32) {
+        {
+            let mut rec = self.recovery.borrow_mut();
+            if rec.is_quarantined(vol) {
+                return;
+            }
+            rec.quarantine(vol);
+        }
+        let failures = self.recovery.borrow().failures(vol);
+        self.tseg.borrow_mut().volume_mut(vol).full = true;
+        self.replicas.borrow_mut().forget_volume(vol);
+        self.stats.borrow_mut().quarantines += 1;
+        self.fault_log
+            .borrow_mut()
+            .push(FaultEvent::Quarantine { at, vol, failures });
+    }
+
+    /// Reads one copy of `tert_seg` into `buf`, applying the recovery
+    /// policy (§10): bounded backoff retries on transient faults,
+    /// immediate quarantine on hard media failures, failover across the
+    /// remaining replica homes. Exhausting every copy yields
+    /// [`HlError::SegmentUnavailable`] with the ordered fault trail.
+    fn fetch_segment(
+        &self,
+        at: SimTime,
+        tert_seg: SegNo,
+        buf: &mut [u8],
+    ) -> Result<(IoSlot, (u32, u32)), HlError> {
+        if self.replicas.borrow().homes(&self.map, tert_seg).is_empty() {
+            // Not a mapped tertiary segment at all.
+            return Err(HlError::Dev(DevError::Offline));
+        }
+        let homes = self.candidate_homes(tert_seg);
+        let policy = self.policy.get();
+        let mut trail: Vec<FaultStep> = Vec::new();
+        let mut t = at;
+        for (i, &(vol, slot)) in homes.iter().enumerate() {
+            let mut attempt = 0u32;
+            loop {
+                match self.jukebox.read_segment(t, vol, slot, buf) {
+                    Ok(r) => return Ok((r, (vol, slot))),
+                    Err(e @ DevError::MediaFailure) => {
+                        self.fault_log.borrow_mut().push(FaultEvent::ReadFault {
+                            at: t,
+                            seg: tert_seg,
+                            vol,
+                            slot,
+                            error: e,
+                        });
+                        self.recovery.borrow_mut().record_failure(vol);
+                        self.quarantine_volume(t, vol);
+                        trail.push(FaultStep {
+                            at: t,
+                            vol,
+                            slot,
+                            error: e,
+                            action: RecoveryAction::Quarantine,
+                        });
+                        break;
+                    }
+                    Err(e @ (DevError::ReadError { .. } | DevError::Offline)) => {
+                        self.fault_log.borrow_mut().push(FaultEvent::ReadFault {
+                            at: t,
+                            seg: tert_seg,
+                            vol,
+                            slot,
+                            error: e,
+                        });
+                        attempt += 1;
+                        if attempt <= policy.max_retries {
+                            let delay = policy.backoff(attempt);
+                            trail.push(FaultStep {
+                                at: t,
+                                vol,
+                                slot,
+                                error: e,
+                                action: RecoveryAction::Retry {
+                                    attempt,
+                                    backoff: delay,
+                                },
+                            });
+                            self.fault_log.borrow_mut().push(FaultEvent::Retry {
+                                at: t,
+                                seg: tert_seg,
+                                vol,
+                                slot,
+                                attempt,
+                                delay,
+                            });
+                            self.stats.borrow_mut().retries += 1;
+                            t += delay;
+                            continue;
+                        }
+                        let strikes = self.recovery.borrow_mut().record_failure(vol);
+                        let action = if strikes >= policy.quarantine_after {
+                            self.quarantine_volume(t, vol);
+                            RecoveryAction::Quarantine
+                        } else if i + 1 < homes.len() {
+                            RecoveryAction::Failover
+                        } else {
+                            RecoveryAction::GaveUp
+                        };
+                        trail.push(FaultStep {
+                            at: t,
+                            vol,
+                            slot,
+                            error: e,
+                            action,
+                        });
+                        break;
+                    }
+                    // Structural errors (bad buffer, out of range, ...)
+                    // are bugs, not media faults: surface immediately.
+                    Err(e) => return Err(HlError::Dev(e)),
+                }
+            }
+            if let Some(&next) = homes.get(i + 1) {
+                self.stats.borrow_mut().failovers += 1;
+                self.fault_log.borrow_mut().push(FaultEvent::Failover {
+                    at: t,
+                    seg: tert_seg,
+                    from: (vol, slot),
+                    to: next,
+                });
+            }
+        }
+        self.stats.borrow_mut().permanent_losses += 1;
+        self.fault_log
+            .borrow_mut()
+            .push(FaultEvent::PermanentLoss { at: t, seg: tert_seg });
+        Err(HlError::SegmentUnavailable {
+            seg: tert_seg,
+            trail,
+        })
+    }
+
     /// Demand-fetches `tert_seg` into the cache (§6.2): "the service
     /// process finds a reusable segment on disk and directs the I/O
     /// process to fetch the necessary tertiary-resident segment into that
     /// segment." Returns the cache line's disk segment and the completion
-    /// time.
-    pub fn demand_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<(SegNo, SimTime), DevError> {
+    /// time. Faults along the way are handled by [`Self::fetch_segment`]'s
+    /// recovery policy; if every copy is gone the error carries the fault
+    /// trail and already-cached lines keep serving (degraded mode).
+    pub fn demand_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<(SegNo, SimTime), HlError> {
         if let Some(line) = self.cache.borrow_mut().lookup(tert_seg, at) {
             return Ok((line.disk_seg, at));
         }
-        // Read the "closest" copy: a replica on a loaded volume beats the
-        // primary behind a media swap (§5.4).
-        let (vol, slot) = self
-            .replicas
-            .borrow()
-            .closest(&self.map, &*self.jukebox, tert_seg)
-            .ok_or(DevError::Offline)?;
         self.notify(StallEvent::HoldOn { seg: tert_seg, at });
         let (disk_seg, _ejected) = self
             .cache
@@ -226,10 +429,10 @@ impl TertiaryIo {
         // Ejected clean lines need no I/O: they never hold the sole copy
         // of a block (§4).
 
-        // I/O server: tertiary → memory.
+        // I/O server: tertiary → memory, with retry/failover (§10).
         let mut buf = vec![0u8; self.seg_bytes];
-        let r = match self.jukebox.read_segment(at, vol, slot, &mut buf) {
-            Ok(r) => r,
+        let r = match self.fetch_segment(at, tert_seg, &mut buf) {
+            Ok((r, _home)) => r,
             Err(e) => {
                 self.cache.borrow_mut().eject(tert_seg);
                 return Err(e);
@@ -241,7 +444,13 @@ impl TertiaryIo {
         // Memory → raw cache disk ("direct access avoids ... pollution of
         // the block buffer cache", §6.7).
         let base = self.map.seg_base(disk_seg) as u64;
-        let w = self.disks.write(r.end, base, &buf)?;
+        let w = match self.disks.write(r.end, base, &buf) {
+            Ok(w) => w,
+            Err(e) => {
+                self.cache.borrow_mut().eject(tert_seg);
+                return Err(e.into());
+            }
+        };
         self.phases
             .borrow_mut()
             .add(phase::CACHE_FILL, w.duration());
@@ -263,23 +472,18 @@ impl TertiaryIo {
     /// is modelled as overlapped background work, so the line's
     /// `ready_at` reflects both but the caller does not block. Readers
     /// of the line wait until `ready_at` (the block-map enforces it).
-    pub fn prefetch_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, DevError> {
+    pub fn prefetch_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, HlError> {
         if self.cache.borrow_mut().lookup(tert_seg, at).is_some() {
             return Ok(at);
         }
-        let (vol, slot) = self
-            .replicas
-            .borrow()
-            .closest(&self.map, &*self.jukebox, tert_seg)
-            .ok_or(DevError::Offline)?;
         let (disk_seg, _ejected) = self
             .cache
             .borrow_mut()
             .allocate(tert_seg, LineState::Clean, at)
             .ok_or(DevError::Offline)?;
         let mut buf = vec![0u8; self.seg_bytes];
-        let r = match self.jukebox.read_segment(at, vol, slot, &mut buf) {
-            Ok(r) => r,
+        let r = match self.fetch_segment(at, tert_seg, &mut buf) {
+            Ok((r, _home)) => r,
             Err(e) => {
                 self.cache.borrow_mut().eject(tert_seg);
                 return Err(e);
@@ -319,12 +523,17 @@ impl TertiaryIo {
             .peek(tert_seg)
             .copied()
             .ok_or(DevError::Offline)?;
-        assert_eq!(
-            line.state,
-            LineState::DirtyWait,
-            "copy_out of a line that is not sealed"
-        );
+        if line.state != LineState::DirtyWait {
+            // Not sealed: nothing coherent to write. A caller bug, but a
+            // recoverable one — refuse rather than panic.
+            return Err(DevError::Offline);
+        }
         let (vol, slot) = self.map.vol_slot(tert_seg).ok_or(DevError::Offline)?;
+        if self.recovery.borrow().is_quarantined(vol) {
+            // The segment's primary volume is gone; the migrator must
+            // relocate the staged data to a healthy address.
+            return Err(DevError::Offline);
+        }
 
         // I/O server: cache disk → memory.
         let mut buf = vec![0u8; self.seg_bytes];
@@ -360,6 +569,11 @@ impl TertiaryIo {
                 let mut tseg = self.tseg.borrow_mut();
                 tseg.volume_mut(vol).full = true;
                 self.stats.borrow_mut().eom_events += 1;
+                self.fault_log.borrow_mut().push(FaultEvent::EndOfMedium {
+                    at: r.end,
+                    vol,
+                    slot,
+                });
                 Err(DevError::EndOfMedium { written })
             }
             Err(e) => Err(e),
@@ -384,6 +598,9 @@ impl TertiaryIo {
         }
         for vol in 0..self.map.volumes {
             if written >= copies || vol == primary_vol {
+                continue;
+            }
+            if self.recovery.borrow().is_quarantined(vol) {
                 continue;
             }
             let slot = {
@@ -414,6 +631,103 @@ impl TertiaryIo {
         t
     }
 
+    /// Background scrub / re-replicate pass (§10): walks every tertiary
+    /// segment that has been copied out or replicated, counts its
+    /// surviving (non-quarantined) copies, and writes fresh replicas
+    /// until each segment again has `1 + replication` copies. Segments
+    /// with no surviving copy are reported unrecoverable.
+    pub fn scrub(&self, at: SimTime) -> ScrubReport {
+        let target = 1 + self.replicate.get();
+        let mut segs: Vec<SegNo> = self
+            .tseg
+            .borrow()
+            .touched()
+            .filter(|(_, u)| u.avail_bytes > 0)
+            .map(|(s, _)| s)
+            .collect();
+        segs.extend(self.replicas.borrow().segments());
+        segs.sort_unstable();
+        segs.dedup();
+
+        let mut report = ScrubReport {
+            end: at,
+            ..ScrubReport::default()
+        };
+        let mut t = at;
+        for seg in segs {
+            let homes = self.candidate_homes(seg);
+            if homes.is_empty() {
+                report.unrecoverable.push(seg);
+                continue;
+            }
+            if homes.len() as u32 >= target {
+                continue;
+            }
+            let deficit = target - homes.len() as u32;
+            // Whole-segment re-fetch from any surviving copy (§10).
+            let mut buf = vec![0u8; self.seg_bytes];
+            let mut source = None;
+            for &(vol, slot) in &homes {
+                if let Ok(r) = self.jukebox.read_segment(t, vol, slot, &mut buf) {
+                    source = Some((r, (vol, slot)));
+                    break;
+                }
+            }
+            let Some((r, from)) = source else {
+                report.unrecoverable.push(seg);
+                continue;
+            };
+            t = r.end;
+            self.phases
+                .borrow_mut()
+                .add(phase::FOOTPRINT_READ, r.duration());
+            let holding: Vec<u32> = homes.iter().map(|&(v, _)| v).collect();
+            let mut made = 0u32;
+            for vol in 0..self.map.volumes {
+                if made >= deficit || holding.contains(&vol) {
+                    continue;
+                }
+                if self.recovery.borrow().is_quarantined(vol) {
+                    continue;
+                }
+                let slot = {
+                    let mut tseg = self.tseg.borrow_mut();
+                    let v = tseg.volume_mut(vol);
+                    if v.full || v.next_slot >= self.map.segs_per_volume {
+                        continue;
+                    }
+                    let s = v.next_slot;
+                    v.next_slot += 1;
+                    s
+                };
+                match self.jukebox.write_segment(t, vol, slot, &buf) {
+                    Ok(w) => {
+                        t = w.end;
+                        self.phases
+                            .borrow_mut()
+                            .add(phase::FOOTPRINT_WRITE, w.duration());
+                        self.replicas.borrow_mut().add(seg, vol, slot);
+                        self.stats.borrow_mut().scrub_copies += 1;
+                        self.fault_log.borrow_mut().push(FaultEvent::ScrubCopy {
+                            at: t,
+                            seg,
+                            from,
+                            to: (vol, slot),
+                        });
+                        report.copies_made += 1;
+                        made += 1;
+                    }
+                    Err(DevError::EndOfMedium { .. }) => {
+                        self.tseg.borrow_mut().volume_mut(vol).full = true;
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        report.end = t;
+        report
+    }
+
     /// Ejects a clean cached line ("read-only cached segments ... may be
     /// discarded from the cache at any time", §4). No-op for absent
     /// lines; pinned lines are refused.
@@ -435,7 +749,7 @@ mod tests {
     use crate::segcache::{EjectPolicy, SegCache};
     use crate::UniformMap;
     use hl_footprint::{Jukebox, JukeboxConfig};
-    use hl_vdev::{Disk, DiskProfile};
+    use hl_vdev::{Disk, DiskProfile, FaultConfig, FaultPlan};
     use std::rc::Rc;
 
     fn rig(cache_lines: u32) -> (Rc<TertiaryIo>, Jukebox, UniformMap) {
@@ -524,5 +838,173 @@ mod tests {
         tio.reset_accounting();
         assert_eq!(tio.stats().demand_fetches, 0);
         assert_eq!(tio.phases().total(), 0);
+    }
+
+    #[test]
+    fn transient_faults_retry_then_surface_unavailable() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(0, 0, &vec![5u8; 1 << 20]).unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            transient_read_p: 1.0,
+            ..FaultConfig::none(42)
+        });
+        jb.set_fault_plan(plan);
+        tio.set_recovery_policy(RecoveryPolicy {
+            max_retries: 2,
+            backoff_base: 1000,
+            quarantine_after: 99,
+        });
+        let seg = map.tert_seg(0, 0);
+        let err = tio.demand_fetch(0, seg).unwrap_err();
+        match err {
+            HlError::SegmentUnavailable { seg: s, trail } => {
+                assert_eq!(s, seg);
+                // Two backoff retries, then the policy gave up.
+                assert_eq!(trail.len(), 3);
+                assert!(matches!(
+                    trail[0].action,
+                    RecoveryAction::Retry { attempt: 1, .. }
+                ));
+                assert!(matches!(trail[2].action, RecoveryAction::GaveUp));
+                // Backoff doubles: the second retry observes the fault
+                // strictly later than the first.
+                assert!(trail[1].at > trail[0].at);
+            }
+            e => panic!("wrong error: {e:?}"),
+        }
+        let st = tio.stats();
+        assert_eq!(st.retries, 2);
+        assert_eq!(st.permanent_losses, 1);
+        assert!(!tio.fault_log().is_empty());
+    }
+
+    #[test]
+    fn transient_faults_recover_within_the_retry_budget() {
+        let (tio, jb, map) = rig(1);
+        let plan = FaultPlan::new(FaultConfig {
+            transient_read_p: 0.5,
+            ..FaultConfig::none(7)
+        });
+        jb.set_fault_plan(plan);
+        tio.set_recovery_policy(RecoveryPolicy {
+            max_retries: 30,
+            backoff_base: 1000,
+            quarantine_after: u32::MAX,
+        });
+        let mut t = 0;
+        for slot in 0..8 {
+            jb.poke_segment(0, slot, &vec![slot as u8; 1 << 20]).unwrap();
+            let seg = map.tert_seg(0, slot);
+            let (_, end) = tio.demand_fetch(t, seg).expect("retries recover");
+            t = end;
+            tio.eject(seg);
+        }
+        assert!(tio.stats().retries >= 1, "p=0.5 must fault at least once");
+        assert_eq!(tio.stats().permanent_losses, 0);
+    }
+
+    #[test]
+    fn media_failure_fails_over_to_replica_and_quarantines() {
+        let (tio, jb, map) = rig(4);
+        let seg = map.tert_seg(0, 0);
+        let data = vec![9u8; 1 << 20];
+        jb.poke_segment(0, 0, &data).unwrap();
+        jb.poke_segment(1, 5, &data).unwrap();
+        tio.replicas().borrow_mut().add(seg, 1, 5);
+        let plan = FaultPlan::new(FaultConfig::none(3));
+        plan.fail_volume_at(0, 0);
+        jb.set_fault_plan(plan);
+
+        let (disk_seg, _end) = tio.demand_fetch(0, seg).expect("replica serves");
+        assert_eq!(tio.stats().failovers, 1);
+        assert_eq!(tio.stats().quarantines, 1);
+        assert_eq!(tio.quarantined_volumes(), vec![0]);
+        // The bytes that landed in the cache line are the replica's.
+        let mut back = vec![0u8; 1 << 20];
+        tio.disks_handle()
+            .peek(map.seg_base(disk_seg) as u64, &mut back)
+            .unwrap();
+        assert_eq!(back, data);
+        let log = tio.fault_log();
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Quarantine { vol: 0, .. })));
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::Failover { .. })));
+    }
+
+    #[test]
+    fn scrub_restores_the_copy_count_after_a_volume_loss() {
+        let (tio, jb, map) = rig(4);
+        tio.set_replication(1);
+        let seg = map.tert_seg(0, 0);
+        let data = vec![6u8; 1 << 20];
+        jb.poke_segment(0, 0, &data).unwrap();
+        jb.poke_segment(1, 0, &data).unwrap();
+        tio.replicas().borrow_mut().add(seg, 1, 0);
+        {
+            let tseg = tio.tseg();
+            let mut t = tseg.borrow_mut();
+            t.seg_mut(seg).avail_bytes = 1 << 20;
+            t.volume_mut(0).next_slot = 1;
+            t.volume_mut(1).next_slot = 1;
+        }
+        // Lose the primary's volume mid-run; the fetch fails over.
+        let plan = FaultPlan::new(FaultConfig::none(5));
+        plan.fail_volume_at(0, 0);
+        jb.set_fault_plan(plan);
+        let (_, end) = tio.demand_fetch(0, seg).expect("replica serves");
+        assert_eq!(tio.quarantined_volumes(), vec![0]);
+
+        // Scrub: one surviving copy, target is 1 + replication = 2.
+        let report = tio.scrub(end);
+        assert_eq!(report.copies_made, 1);
+        assert!(report.unrecoverable.is_empty());
+        assert_eq!(tio.stats().scrub_copies, 1);
+        assert!(tio
+            .fault_log()
+            .events()
+            .iter()
+            .any(|e| matches!(e, FaultEvent::ScrubCopy { .. })));
+        // The set is healthy again: a second pass writes nothing.
+        let report2 = tio.scrub(report.end);
+        assert_eq!(report2.copies_made, 0);
+        // And the fresh copy actually serves reads.
+        tio.eject(seg);
+        let homes = tio.replicas().borrow().homes(&map, seg);
+        assert_eq!(homes.len(), 3, "primary + old replica + scrub copy");
+        assert!(tio.demand_fetch(report2.end, seg).is_ok());
+    }
+
+    #[test]
+    fn cached_lines_serve_after_every_copy_is_lost() {
+        let (tio, jb, map) = rig(4);
+        let seg = map.tert_seg(2, 1);
+        jb.poke_segment(2, 1, &vec![3u8; 1 << 20]).unwrap();
+        let (_, end) = tio.demand_fetch(0, seg).unwrap();
+        let plan = FaultPlan::new(FaultConfig::none(9));
+        plan.fail_volume_at(2, 0);
+        jb.set_fault_plan(plan);
+        // Degraded mode: the cached line still serves.
+        assert!(tio.demand_fetch(end, seg).is_ok());
+        // Once ejected, the loss surfaces as a typed unavailability.
+        tio.eject(seg);
+        let err = tio.demand_fetch(end, seg).unwrap_err();
+        assert!(matches!(err, HlError::SegmentUnavailable { .. }));
+        assert_eq!(tio.stats().permanent_losses, 1);
+    }
+
+    #[test]
+    fn copy_out_of_an_unsealed_line_errors_instead_of_panicking() {
+        let (tio, _, map) = rig(2);
+        let seg = map.tert_seg(0, 0);
+        tio.cache()
+            .borrow_mut()
+            .allocate(seg, LineState::Staging, 0)
+            .unwrap();
+        assert_eq!(tio.copy_out(0, seg), Err(DevError::Offline));
     }
 }

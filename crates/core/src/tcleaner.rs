@@ -88,7 +88,10 @@ pub fn clean_volume(hl: &mut HighLight, vol: u32) -> Result<TCleanReport> {
         // tertiary-resident copy", §6.2 — the cache line *is* that copy
         // brought within reach) and identify live blocks.
         let now = hl.clock().now();
-        let (_disk_seg, end) = hl.tio().demand_fetch(now, seg).map_err(LfsError::Dev)?;
+        let (_disk_seg, end) = hl
+            .tio()
+            .demand_fetch(now, seg)
+            .map_err(|e| LfsError::Dev(e.into_dev()))?;
         hl.clock().advance_to(end);
         let live = scan_live(hl, seg)?;
         survivors.extend(live);

@@ -1,0 +1,221 @@
+//! Reliability acceptance scenarios (§10): a volume holding a fetched
+//! segment permanently fails mid-run; demand fetch must keep succeeding
+//! via a replica, the dead volume must be quarantined, a scrub pass must
+//! restore the configured copy count, and every step must land in the
+//! stats and the fault log — deterministically, so the same seed yields
+//! a byte-identical log.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use highlight::segcache::{EjectPolicy, SegCache};
+use highlight::{
+    FaultEvent, HighLight, HlConfig, HlError, TertiaryIo, TsegTable, UniformMap,
+};
+use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+use hl_lfs::config::AddressMap;
+use hl_sim::Clock;
+use hl_vdev::{BlockDev, Disk, DiskProfile, FaultConfig, FaultPlan};
+
+fn rig() -> (Rc<TertiaryIo>, Jukebox, UniformMap) {
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (40..44).collect(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = Rc::new(TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg));
+    (tio, jb, map)
+}
+
+/// The full mid-run volume-loss scenario; returns the rendered fault log.
+fn run_scenario(seed: u64) -> String {
+    let (tio, jb, map) = rig();
+    tio.set_replication(1);
+    let seg = map.tert_seg(0, 0);
+    let data: Vec<u8> = (0..1usize << 20)
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed as u8))
+        .collect();
+    jb.poke_segment(0, 0, &data).unwrap();
+    jb.poke_segment(1, 0, &data).unwrap();
+    tio.replicas().borrow_mut().add(seg, 1, 0);
+    {
+        let tseg = tio.tseg();
+        let mut t = tseg.borrow_mut();
+        t.seg_mut(seg).avail_bytes = 1 << 20;
+        t.volume_mut(0).next_slot = 1;
+        t.volume_mut(1).next_slot = 1;
+    }
+
+    // Healthy fetch first: the segment has been read once already.
+    let (_, t1) = tio.demand_fetch(0, seg).expect("healthy fetch");
+    assert!(tio.eject(seg));
+
+    // Mid-run, the primary's volume permanently fails.
+    let plan = FaultPlan::new(FaultConfig::none(seed));
+    plan.fail_volume_at(0, t1);
+    jb.set_fault_plan(plan);
+
+    // The demand fetch still succeeds, served by the replica...
+    let (disk_seg, t2) = tio.demand_fetch(t1, seg).expect("replica serves");
+    let mut back = vec![0u8; data.len()];
+    tio.disks_handle()
+        .peek(map.seg_base(disk_seg) as u64, &mut back)
+        .unwrap();
+    assert_eq!(back, data, "replica bytes differ from the original");
+
+    // ...the dead volume is quarantined...
+    assert_eq!(tio.quarantined_volumes(), vec![0]);
+
+    // ...and a scrub pass restores the configured copy count.
+    let report = tio.scrub(t2);
+    assert_eq!(report.copies_made, 1, "one fresh replica expected");
+    assert!(report.unrecoverable.is_empty());
+
+    let st = tio.stats();
+    assert_eq!(st.failovers, 1);
+    assert_eq!(st.quarantines, 1);
+    assert_eq!(st.scrub_copies, 1);
+    assert_eq!(st.permanent_losses, 0);
+
+    // The restored copy serves reads on its own.
+    assert!(tio.eject(seg));
+    assert!(tio.demand_fetch(report.end, seg).is_ok());
+
+    tio.fault_log().render()
+}
+
+#[test]
+fn volume_loss_mid_run_recovers_and_logs_deterministically() {
+    let log_a = run_scenario(1234);
+    let log_b = run_scenario(1234);
+    assert!(!log_a.is_empty());
+    assert_eq!(log_a, log_b, "same seed must render a byte-identical log");
+
+    // Each recovery step appears, in causal order.
+    let idx = |needle: &str| {
+        log_a
+            .find(needle)
+            .unwrap_or_else(|| panic!("missing {needle:?} in log:\n{log_a}"))
+    };
+    assert!(idx("fault:") < idx("quarantine"));
+    assert!(idx("quarantine") < idx("failover"));
+    assert!(idx("failover") < idx("scrub copy"));
+}
+
+#[test]
+fn exhausted_recovery_surfaces_the_ordered_fault_trail() {
+    let (tio, jb, map) = rig();
+    let seg = map.tert_seg(2, 3);
+    jb.poke_segment(2, 3, &vec![1u8; 1 << 20]).unwrap();
+    // The only copy's volume dies; there is no replica.
+    let plan = FaultPlan::new(FaultConfig::none(42));
+    plan.fail_volume_at(2, 0);
+    jb.set_fault_plan(plan);
+
+    match tio.demand_fetch(0, seg) {
+        Err(HlError::SegmentUnavailable { seg: s, trail }) => {
+            assert_eq!(s, seg);
+            assert!(!trail.is_empty(), "trail must name what was tried");
+            for w in trail.windows(2) {
+                assert!(w[0].at <= w[1].at, "trail must be time-ordered");
+            }
+        }
+        other => panic!("expected SegmentUnavailable, got {other:?}"),
+    }
+    assert_eq!(tio.stats().permanent_losses, 1);
+    assert!(tio
+        .fault_log()
+        .events()
+        .iter()
+        .any(|e| matches!(e, FaultEvent::PermanentLoss { .. })));
+}
+
+/// §6.3 regression: a copy-out that hits end-of-medium (compression
+/// shortfall) must mark the volume full and transparently rewrite the
+/// sealed segment on the next volume — with replica bookkeeping intact.
+#[test]
+fn end_of_medium_marks_volume_full_and_rewrites_on_next_volume() {
+    let clock = Clock::new();
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 32u64 * 256 + 7, None));
+    let jukebox = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    // Volume 0 "compresses badly": only 1 of its 8 slots really fits.
+    jukebox.set_effective_segments(0, 1);
+    let cfg = || HlConfig::paper(clock.clone(), 6);
+    HighLight::mkfs(
+        disk.clone() as Rc<dyn BlockDev>,
+        Rc::new(jukebox.clone()),
+        cfg(),
+    )
+    .unwrap();
+    let mut hl = HighLight::mount(
+        disk.clone() as Rc<dyn BlockDev>,
+        Rc::new(jukebox.clone()),
+        cfg(),
+    )
+    .unwrap();
+    hl.tio().set_replication(1);
+
+    let patterned = |seed: u8| -> Vec<u8> {
+        (0..900_000u32)
+            .map(|i| (i as u8).wrapping_mul(13).wrapping_add(seed))
+            .collect()
+    };
+    let a = patterned(8);
+    let b = patterned(9);
+    let ia = hl.create("/a").unwrap();
+    let ib = hl.create("/b").unwrap();
+    hl.write(ia, 0, &a).unwrap();
+    hl.write(ib, 0, &b).unwrap();
+    hl.sync().unwrap();
+
+    hl.migrate_file("/a", false, None).unwrap();
+    let mut tail = Default::default();
+    hl.seal_staging(&mut tail).unwrap();
+    hl.migrate_file("/b", false, None).unwrap();
+    let mut tail2 = Default::default();
+    hl.seal_staging(&mut tail2).unwrap();
+
+    // The second copy-out hit end-of-medium and was relocated.
+    assert!(
+        tail.relocations + tail2.relocations >= 1,
+        "expected an end-of-medium relocation"
+    );
+    // The caller marked the shortfallen volume full...
+    assert!(hl.tseg().borrow().volume(0).full, "volume 0 must be full");
+    // ...the event is on the record with its stats counter...
+    assert!(hl.tio().stats().eom_events >= 1);
+    assert!(hl
+        .tio()
+        .fault_log()
+        .events()
+        .iter()
+        .any(|e| matches!(e, FaultEvent::EndOfMedium { vol: 0, .. })));
+    // ...and both segments still carry their replica bookkeeping.
+    assert_eq!(hl.tio().replicas().borrow().replicated_segments(), 2);
+
+    // Both files read back intact from their post-EOM homes.
+    hl.eject_all();
+    hl.drop_caches();
+    let mut back = vec![0u8; a.len()];
+    hl.read(ia, 0, &mut back).unwrap();
+    assert_eq!(back, a);
+    hl.read(ib, 0, &mut back).unwrap();
+    assert_eq!(back, b);
+}

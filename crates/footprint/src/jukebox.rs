@@ -12,7 +12,10 @@ use std::rc::Rc;
 
 use hl_sim::time::SimTime;
 use hl_sim::Resource;
-use hl_vdev::{DevError, DiskProfile, IoSlot, ScsiBus, SparseStore, TapeProfile};
+use hl_vdev::{
+    DevError, DiskProfile, FaultPlan, IoSlot, MediaFault, ScsiBus, SparseStore, SwapFault,
+    TapeProfile,
+};
 
 use crate::stats::FpStats;
 use crate::{Footprint, VolumeId};
@@ -138,6 +141,9 @@ struct Inner {
     robot: Resource,
     bus: Option<ScsiBus>,
     stats: FpStats,
+    /// Seeded fault schedule consulted on every read, write, and swap
+    /// (§10 reliability experiments). `None` injects nothing.
+    fault: Option<FaultPlan>,
 }
 
 /// A robotic media changer implementing [`Footprint`].
@@ -190,8 +196,16 @@ impl Jukebox {
                 robot: Resource::new("robot"),
                 bus,
                 stats: FpStats::default(),
+                fault: None,
             })),
         }
+    }
+
+    /// Installs a fault-injection plan. Every subsequent segment read,
+    /// write, and robot swap consults it; callers above the [`Footprint`]
+    /// trait are untouched.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().fault = Some(plan);
     }
 
     /// Reduces a volume's effective capacity, simulating a compression
@@ -270,8 +284,16 @@ impl Jukebox {
             }
         };
         // The swap needs the robot, the target drive, and (if attached)
-        // hogs the bus for its whole duration.
-        let swap = inner.cfg.volume_change_time;
+        // hogs the bus for its whole duration. A fault plan may fail the
+        // swap outright or jam the arm for extra stuck time.
+        let mut swap = inner.cfg.volume_change_time;
+        if let Some(plan) = &inner.fault {
+            match plan.on_swap(at, vol) {
+                Some(SwapFault::Failed) => return Err(DevError::Offline),
+                Some(SwapFault::Jam { stuck }) => swap += stuck,
+                None => {}
+            }
+        }
         let earliest = at.max(inner.drives[d].res.free_at());
         let (start, _) = inner.robot.acquire(earliest, swap);
         let end = if let Some(bus) = &inner.bus {
@@ -325,6 +347,20 @@ impl Jukebox {
         }
         if inner.volumes[vol as usize].failed {
             return Err(DevError::MediaFailure);
+        }
+        let decision = match &inner.fault {
+            Some(plan) if writing => plan.on_write(at, vol, seg),
+            Some(plan) => plan.on_read(at, vol, seg),
+            None => None,
+        };
+        match decision {
+            Some(MediaFault::Transient) => return Err(DevError::ReadError { block: seg as u64 }),
+            Some(MediaFault::Permanent) => {
+                inner.volumes[vol as usize].failed = true;
+                return Err(DevError::MediaFailure);
+            }
+            Some(MediaFault::EarlyEom) => return Err(DevError::EndOfMedium { written: 0 }),
+            None => {}
         }
         let (d, ready) = Self::ensure_loaded(inner, at, vol, writing)?;
         let (position, transfer) = Self::media_io_time(inner, d, seg, writing);
@@ -636,6 +672,114 @@ mod tests {
             "{} < {expect_seek}",
             r.duration()
         );
+    }
+
+    #[test]
+    fn scripted_media_failure_kills_the_volume() {
+        use hl_vdev::{FaultConfig, FaultPlan};
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        jb.poke_segment(2, 0, &seg).unwrap();
+        let plan = FaultPlan::new(FaultConfig::none(1));
+        plan.fail_volume_at(2, secs(100.0));
+        jb.set_fault_plan(plan);
+        let mut back = vec![0u8; jb.segment_bytes()];
+        // Before the scripted time: reads succeed.
+        jb.read_segment(0, 2, 0, &mut back).unwrap();
+        assert_eq!(back, seg);
+        // At the scripted time the volume dies, and stays dead.
+        assert_eq!(
+            jb.read_segment(secs(100.0), 2, 0, &mut back),
+            Err(DevError::MediaFailure)
+        );
+        assert_eq!(
+            jb.read_segment(secs(200.0), 2, 0, &mut back),
+            Err(DevError::MediaFailure)
+        );
+    }
+
+    #[test]
+    fn transient_read_errors_are_retryable() {
+        use hl_vdev::{FaultConfig, FaultPlan};
+        let jb = hp6300();
+        let seg = vec![5u8; jb.segment_bytes()];
+        jb.poke_segment(0, 3, &seg).unwrap();
+        // 50% transient errors: with seed 11, some read in the first few
+        // attempts fails and a later retry succeeds.
+        let plan = FaultPlan::new(FaultConfig {
+            transient_read_p: 0.5,
+            ..FaultConfig::none(11)
+        });
+        jb.set_fault_plan(plan.clone());
+        let mut back = vec![0u8; jb.segment_bytes()];
+        let mut errors = 0;
+        let mut successes = 0;
+        for i in 0..32u64 {
+            match jb.read_segment(secs(i as f64), 0, 3, &mut back) {
+                Ok(_) => {
+                    assert_eq!(back, seg, "data intact after transient errors");
+                    successes += 1;
+                }
+                Err(DevError::ReadError { .. }) => errors += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        // At 50% the binomial tails make all-32-one-way vanishingly
+        // unlikely for any seed; both outcomes must appear.
+        assert!(errors > 0, "no transient errors injected");
+        assert!(successes > 0, "no read ever succeeded");
+        assert_eq!(plan.injected().len(), errors);
+    }
+
+    #[test]
+    fn swap_jam_adds_stuck_time() {
+        use hl_vdev::{FaultConfig, FaultPlan};
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let plan = FaultPlan::new(FaultConfig {
+            swap_jam_p: 1.0,
+            swap_stuck_time: secs(60.0),
+            ..FaultConfig::none(3)
+        });
+        jb.set_fault_plan(plan);
+        let w = jb.write_segment(0, 0, 0, &seg).unwrap();
+        // 13.5 s swap + 60 s jam + ~5 s write.
+        assert!(w.end > secs(73.5), "jam time missing: {}", w.end);
+    }
+
+    #[test]
+    fn swap_failure_reports_offline_without_loading() {
+        use hl_vdev::{FaultConfig, FaultPlan};
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        jb.poke_segment(1, 0, &seg).unwrap();
+        let plan = FaultPlan::new(FaultConfig {
+            swap_fail_p: 1.0,
+            ..FaultConfig::none(9)
+        });
+        jb.set_fault_plan(plan);
+        let mut back = vec![0u8; jb.segment_bytes()];
+        assert_eq!(jb.read_segment(0, 1, 0, &mut back), Err(DevError::Offline));
+        assert!(jb.loaded_volumes().iter().all(|v| v.is_none()));
+    }
+
+    #[test]
+    fn injected_early_eom_reports_end_of_medium() {
+        use hl_vdev::{FaultConfig, FaultPlan};
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        let plan = FaultPlan::new(FaultConfig {
+            early_eom_p: 1.0,
+            ..FaultConfig::none(2)
+        });
+        jb.set_fault_plan(plan);
+        assert!(matches!(
+            jb.write_segment(0, 0, 0, &seg),
+            Err(DevError::EndOfMedium { .. })
+        ));
+        // Reads are unaffected by the write-fault rate.
+        let mut back = vec![0u8; jb.segment_bytes()];
+        jb.read_segment(0, 0, 0, &mut back).unwrap();
     }
 
     #[test]

@@ -30,6 +30,18 @@ pub fn as_secs(t: SimTime) -> f64 {
     t as f64 / SEC as f64
 }
 
+/// Converts a fractional number of milliseconds to [`SimTime`]
+/// (convenient for sub-second knobs like retry backoff bases).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hl_sim::time::millis(100.0), 100_000);
+/// ```
+pub fn millis(ms: f64) -> SimTime {
+    (ms * MS as f64).round() as SimTime
+}
+
 /// Computes the duration of transferring `bytes` at `kb_per_sec` kilobytes
 /// (1024 bytes) per second, the unit the paper's tables use.
 pub fn transfer_time(bytes: u64, kb_per_sec: f64) -> SimTime {

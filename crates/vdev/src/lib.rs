@@ -22,6 +22,7 @@ pub mod blockdev;
 pub mod bus;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod profile;
 pub mod stripe;
 pub mod tape;
@@ -31,6 +32,7 @@ pub use blockdev::{BlockDev, IoSlot};
 pub use bus::ScsiBus;
 pub use disk::{Disk, DiskStats};
 pub use error::DevError;
+pub use fault::{FaultConfig, FaultPlan, FaultyDev, Injected, MediaFault, SwapFault};
 pub use profile::{DiskProfile, TapeProfile};
 pub use stripe::{Concat, Stripe};
 pub use tape::TapeDrive;

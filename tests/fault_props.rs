@@ -1,0 +1,112 @@
+//! Property test for the §10 recovery layer: under any fault plan that
+//! leaves at least one surviving copy of a segment, a demand fetch must
+//! never surface `SegmentUnavailable`, and the fetched bytes must match
+//! the oracle copy written before the faults began.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use highlight::segcache::{EjectPolicy, SegCache};
+use highlight::{HlError, RecoveryPolicy, TertiaryIo, TsegTable, UniformMap};
+use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+use hl_lfs::config::AddressMap;
+use hl_vdev::{Disk, DiskProfile, FaultConfig, FaultPlan};
+use proptest::prelude::*;
+
+fn rig() -> (Rc<TertiaryIo>, Jukebox, UniformMap) {
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (40..44).collect(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = Rc::new(TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg));
+    (tio, jb, map)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The segment has three copies (primary on volume 0, replicas on
+    /// volumes 1 and 2). The plan kills up to two of those volumes and
+    /// sprinkles transient read faults with probability up to 0.3 — so
+    /// at least one copy always survives, and the recovery policy (12
+    /// retries) must always reach it.
+    #[test]
+    fn surviving_replica_implies_availability(
+        seed in 0u64..1_000_000_000,
+        p_milli in 0u32..300,
+        combo in 0usize..7,
+    ) {
+        let kills: &[u32] = match combo {
+            0 => &[],
+            1 => &[0],
+            2 => &[1],
+            3 => &[2],
+            4 => &[0, 1],
+            5 => &[0, 2],
+            _ => &[1, 2],
+        };
+        let (tio, jb, map) = rig();
+        let seg = map.tert_seg(0, 0);
+        let oracle: Vec<u8> = (0..1usize << 20)
+            .map(|i| (i as u8).wrapping_mul(7).wrapping_add(seed as u8))
+            .collect();
+        jb.poke_segment(0, 0, &oracle).unwrap();
+        jb.poke_segment(1, 0, &oracle).unwrap();
+        jb.poke_segment(2, 0, &oracle).unwrap();
+        tio.replicas().borrow_mut().add(seg, 1, 0);
+        tio.replicas().borrow_mut().add(seg, 2, 0);
+
+        let plan = FaultPlan::new(FaultConfig {
+            transient_read_p: p_milli as f64 / 1000.0,
+            ..FaultConfig::none(seed)
+        });
+        for &v in kills {
+            plan.fail_volume_at(v, 0);
+        }
+        jb.set_fault_plan(plan);
+        tio.set_recovery_policy(RecoveryPolicy {
+            max_retries: 12,
+            backoff_base: 1000,
+            quarantine_after: u32::MAX,
+        });
+
+        let mut t = 0;
+        for round in 0..3 {
+            match tio.demand_fetch(t, seg) {
+                Ok((disk_seg, end)) => {
+                    let mut back = vec![0u8; oracle.len()];
+                    tio.disks_handle()
+                        .peek(map.seg_base(disk_seg) as u64, &mut back)
+                        .unwrap();
+                    prop_assert_eq!(&back, &oracle, "bytes diverged in round {}", round);
+                    t = end;
+                    tio.eject(seg);
+                }
+                Err(HlError::SegmentUnavailable { trail, .. }) => {
+                    return Err(TestCaseError::fail(format!(
+                        "segment unavailable despite a surviving copy \
+                         (kills {:?}, p {}, round {}, {} trail steps)",
+                        kills, p_milli, round, trail.len()
+                    )));
+                }
+                Err(e) => {
+                    return Err(TestCaseError::fail(format!(
+                        "unexpected error: {e} (kills {kills:?}, p {p_milli})"
+                    )));
+                }
+            }
+        }
+        prop_assert_eq!(tio.stats().permanent_losses, 0);
+    }
+}

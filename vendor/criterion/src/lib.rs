@@ -1,0 +1,99 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! the subset of criterion's API that `benches/micro.rs` uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Instead of the full
+//! statistical engine, each benchmark is timed over a fixed-duration
+//! batch and the mean iteration time is printed — enough to compare hot
+//! paths between commits on the same machine.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+pub struct Criterion {
+    /// Minimum measured wall time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` with a [`Bencher`], printing the mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measure_for: self.measure_for,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters > 0 {
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        } else {
+            f64::NAN
+        };
+        println!("{id:<45} {mean_ns:>12.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    measure_for: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly until the measurement window fills.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: amortise cold caches out of the measurement.
+        for _ in 0..16 {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.measure_for {
+            for _ in 0..64 {
+                std::hint::black_box(routine());
+            }
+            iters += 64;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Re-export for call sites that import it from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
