@@ -12,6 +12,12 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Bounded crash-point torture: every write boundary of the standard and
+# migration-heavy scenarios plus the random-workload property pass.
+# Well under two minutes end to end (~3 s on the reference machine).
+echo "==> crash torture (tests/crash_torture.rs + tests/crash_props.rs)"
+cargo test -q --test crash_torture --test crash_props --test recovery_edges
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -27,12 +27,15 @@ fn bench_summary(c: &mut Criterion) {
         });
     }
     summary.inode_addrs = (0..8).collect();
-    let words = vec![0u32; summary.data_blocks() + 8];
+    let payload = vec![0xa5u8; (summary.data_blocks() + 8) * 4096];
     let mut buf = vec![0u8; 4096];
     c.bench_function("summary encode (20 files, 200 blocks)", |b| {
-        b.iter(|| summary.encode(black_box(&mut buf), black_box(&words)))
+        b.iter(|| {
+            let datasum = SegSummary::datasum_of(black_box(&payload));
+            summary.encode(black_box(&mut buf), datasum)
+        })
     });
-    summary.encode(&mut buf, &words);
+    summary.encode(&mut buf, SegSummary::datasum_of(&payload));
     c.bench_function("summary decode", |b| {
         b.iter(|| SegSummary::decode(black_box(&buf)).unwrap())
     });

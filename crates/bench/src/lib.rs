@@ -23,3 +23,4 @@ pub mod fsx;
 pub mod pipeline;
 pub mod rigs;
 pub mod table;
+pub mod torture;

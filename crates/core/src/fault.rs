@@ -194,6 +194,20 @@ pub enum FaultEvent {
         /// The lost segment.
         seg: SegNo,
     },
+    /// A replica or scrub write failed outright (not end-of-medium):
+    /// the slot was consumed but holds no trustworthy copy.
+    WriteFault {
+        /// Event time.
+        at: SimTime,
+        /// Logical tertiary segment being copied.
+        seg: SegNo,
+        /// Volume of the failed write.
+        vol: u32,
+        /// Slot of the failed write.
+        slot: u32,
+        /// The device's report.
+        error: DevError,
+    },
     /// A copy-out hit end-of-medium; the volume was marked full.
     EndOfMedium {
         /// Event time.
@@ -239,6 +253,13 @@ impl fmt::Display for FaultEvent {
             FaultEvent::PermanentLoss { at, seg } => {
                 write!(f, "t={at} seg={seg} PERMANENT LOSS")
             }
+            FaultEvent::WriteFault {
+                at,
+                seg,
+                vol,
+                slot,
+                error,
+            } => write!(f, "t={at} seg={seg} v{vol}/s{slot} write fault: {error}"),
             FaultEvent::EndOfMedium { at, vol, slot } => {
                 write!(f, "t={at} v{vol}/s{slot} end of medium; volume full")
             }

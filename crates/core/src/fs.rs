@@ -19,6 +19,7 @@ use hl_lfs::dir::DirEntry;
 use hl_lfs::error::{LfsError, Result};
 use hl_lfs::fs::Stat;
 use hl_lfs::migrate::{MigrateItem, StagingSegment};
+use hl_lfs::recovery::RecoveryReport;
 use hl_lfs::types::{Ino, SegNo, UNASSIGNED};
 use hl_lfs::{Lfs, LfsConfig};
 use hl_sim::time::SimTime;
@@ -160,6 +161,17 @@ impl HighLight {
         jukebox: Rc<dyn Footprint>,
         cfg: HlConfig,
     ) -> Result<HighLight> {
+        Ok(Self::mount_with_report(disks, jukebox, cfg)?.0)
+    }
+
+    /// [`HighLight::mount`], additionally returning what LFS recovery
+    /// did (checkpoint serial, partials rolled forward) — the torture
+    /// harness asserts on it after every injected crash.
+    pub fn mount_with_report(
+        disks: Rc<dyn BlockDev>,
+        jukebox: Rc<dyn Footprint>,
+        cfg: HlConfig,
+    ) -> Result<(HighLight, RecoveryReport)> {
         let map = Self::build_map(&disks, &jukebox, &cfg.lfs);
         let tseg = Rc::new(RefCell::new(TsegTable::new()));
         let cache = Rc::new(RefCell::new(SegCache::new(Vec::new(), cfg.eject.clone())));
@@ -174,7 +186,8 @@ impl HighLight {
         let hooks = Rc::new(TsegHooks {
             table: tseg.clone(),
         });
-        let mut lfs = Lfs::mount(dev, Rc::new(map), hooks, cfg.lfs)?;
+        let (mut lfs, report) =
+            hl_lfs::recovery::mount_with_report(dev, Rc::new(map), hooks, cfg.lfs)?;
 
         // Restore the tsegfile.
         let tsegfile_ino = lfs.lookup(TSEGFILE_PATH)?;
@@ -190,8 +203,8 @@ impl HighLight {
         // (live bytes, volume cursors) only at checkpoint. After a crash
         // the cursors could lag and hand an already-referenced tertiary
         // segment to the next migration — silent cross-file aliasing.
+        let (_, tert_refs) = lfs.audit_all_live()?;
         {
-            let (_, tert_refs) = lfs.audit_all_live()?;
             let mut t = tseg.borrow_mut();
             t.reset_live(&tert_refs);
             for &seg in tert_refs.keys() {
@@ -202,12 +215,68 @@ impl HighLight {
             }
         }
 
-        // Rebuild the cache directory from the per-segment tags (§6.4).
+        // The copy-out itself precedes the checkpoint, so a crash in
+        // between leaves media that hold a segment the tsegfile does not
+        // yet credit (`avail_bytes == 0`). Ask the media: a referenced
+        // slot that reads back non-blank is a completed copy-out, and
+        // accounting (and fsck) must treat it as such.
         {
+            let seg_bytes = tio.jukebox().segment_bytes();
+            let mut buf = vec![0u8; seg_bytes];
+            let mut t = tseg.borrow_mut();
+            for &seg in tert_refs.keys() {
+                if let Some((vol, slot)) = map.vol_slot(seg) {
+                    let u = t.seg_mut(seg);
+                    if u.avail_bytes == 0
+                        && tio.jukebox().peek_segment(vol, slot, &mut buf).is_ok()
+                        && buf.iter().any(|&b| b != 0)
+                    {
+                        u.avail_bytes = seg_bytes as u32;
+                    }
+                }
+            }
+        }
+
+        // Rebuild the cache directory from the per-segment tags (§6.4).
+        // Tags are only persisted at checkpoint, so a tag can be *stale*
+        // after a crash: the line may have been ejected and reused since.
+        // Trust a tag only if the disk copy still matches its tertiary
+        // home byte-for-byte; otherwise return the segment to the pool
+        // (demand fetch will repopulate it).
+        {
+            let seg_bytes = tio.jukebox().segment_bytes();
+            let mut disk_buf = vec![0u8; seg_bytes];
+            let mut tert_buf = vec![0u8; seg_bytes];
+            let disks = tio.disks_handle();
             let mut c = cache.borrow_mut();
             for (disk_seg, tag, fetch_time) in lfs.cache_segments() {
                 if tag != UNASSIGNED {
-                    c.restore_line(disk_seg, tag, fetch_time);
+                    let verified = match map.vol_slot(tag) {
+                        Some((vol, slot)) => {
+                            let base = map.seg_base(disk_seg);
+                            let ok_disk = (0..map.blocks_per_seg).all(|i| {
+                                let off = i as usize * BLOCK_SIZE;
+                                disks
+                                    .peek(
+                                        u64::from(base + i),
+                                        &mut disk_buf[off..off + BLOCK_SIZE],
+                                    )
+                                    .is_ok()
+                            });
+                            match tio.jukebox().peek_segment(vol, slot, &mut tert_buf) {
+                                // Media unreadable: the cached copy may be
+                                // the only one left — keep it.
+                                Err(_) => true,
+                                Ok(()) => ok_disk && disk_buf == tert_buf,
+                            }
+                        }
+                        None => false,
+                    };
+                    if verified {
+                        c.restore_line(disk_seg, tag, fetch_time);
+                    } else {
+                        c.add_pool(disk_seg);
+                    }
                 } else {
                     c.add_pool(disk_seg);
                 }
@@ -220,21 +289,24 @@ impl HighLight {
             }
         }
 
-        Ok(HighLight {
-            lfs,
-            map,
-            tio,
-            tseg,
-            cache,
-            staging: None,
-            copyout_queue: Vec::new(),
-            copyout: cfg.copyout,
-            prefetch: cfg.prefetch,
-            rearrange: cfg.rearrange,
-            hints: UnitHintMap::default(),
-            tracker: AccessTracker::default(),
-            tsegfile_ino,
-        })
+        Ok((
+            HighLight {
+                lfs,
+                map,
+                tio,
+                tseg,
+                cache,
+                staging: None,
+                copyout_queue: Vec::new(),
+                copyout: cfg.copyout,
+                prefetch: cfg.prefetch,
+                rearrange: cfg.rearrange,
+                hints: UnitHintMap::default(),
+                tracker: AccessTracker::default(),
+                tsegfile_ino,
+            },
+            report,
+        ))
     }
 
     fn build_map(
@@ -367,8 +439,26 @@ impl HighLight {
     }
 
     /// Flushes dirty state to the disk log.
+    ///
+    /// Any open staging segment is sealed and copied out *first*: the
+    /// log flush makes repointed tertiary block pointers durable, and a
+    /// pointer must never out-live its data across a crash — if the
+    /// machine dies after this sync, the tertiary addresses it persisted
+    /// already resolve to media contents.
     pub fn sync(&mut self) -> Result<()> {
+        self.flush_staging()?;
         self.lfs.sync()
+    }
+
+    /// Seals the open staging segment (if any) and forces every pending
+    /// copy-out to the media, so no durable pointer can reference a
+    /// tertiary segment that exists only in volatile cache-directory
+    /// state. Called before every log flush and checkpoint.
+    fn flush_staging(&mut self) -> Result<()> {
+        let mut stats = MigrateStats::default();
+        self.seal_staging(&mut stats)?;
+        self.drain_copyouts()?;
+        Ok(())
     }
 
     /// Drops clean caches (benchmarking, §7.1).
@@ -379,6 +469,11 @@ impl HighLight {
     /// Checkpoint: persists the tsegfile, the cache-directory tags, and
     /// the LFS checkpoint itself.
     pub fn checkpoint(&mut self) -> Result<()> {
+        // Make the hierarchy checkpoint-consistent first: seal and copy
+        // out staging state so every line whose tag we persist is backed
+        // by tertiary media (a crash must find no pointer whose data
+        // exist only in the volatile cache directory).
+        self.flush_staging()?;
         // Cache tags into the ifile's segment table.
         let lines: Vec<(SegNo, SegNo, SimTime)> = self
             .cache
@@ -644,8 +739,10 @@ impl HighLight {
         unit: Option<u32>,
     ) -> Result<MigrateStats> {
         let ino = self.lfs.lookup(path)?;
-        // Stability first: flush any pending dirty state of this file.
-        self.lfs.sync()?;
+        // Stability first: flush any pending dirty state of this file
+        // (through the façade, so staging from an earlier migration is
+        // sealed before its pointers go durable).
+        self.sync()?;
         let items = self.lfs.whole_file_items(ino, include_inode)?;
         self.migrate_items(&items, unit)
     }

@@ -30,6 +30,7 @@ pub mod addr;
 pub mod blockmap;
 pub mod fault;
 pub mod fs;
+pub mod hlfsck;
 pub mod migrator;
 pub mod prefetch;
 pub mod recovery;
@@ -43,6 +44,7 @@ pub mod tsegfile;
 pub use addr::UniformMap;
 pub use fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
 pub use fs::{CopyOutMode, HighLight, HlConfig, MigrateStats, RearrangeMode};
+pub use hlfsck::{HlFinding, HlfsckReport};
 pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy, StpPolicy};
 pub use prefetch::PrefetchPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryState};

@@ -91,6 +91,9 @@ pub struct SvcStats {
     pub scrub_copies: u64,
     /// Fetches that exhausted every copy (segment unavailable).
     pub permanent_losses: u64,
+    /// Replica/scrub writes that failed outright (the slot was consumed
+    /// but no copy was recorded).
+    pub replica_write_failures: u64,
 }
 
 /// Outcome of one [`TertiaryIo::scrub`] pass.
@@ -100,6 +103,8 @@ pub struct ScrubReport {
     pub end: SimTime,
     /// Fresh replica copies written.
     pub copies_made: u32,
+    /// Replica writes that failed (slot burned, no copy recorded).
+    pub write_failures: u32,
     /// Segments with no surviving copy anywhere.
     pub unrecoverable: Vec<SegNo>,
 }
@@ -625,7 +630,19 @@ impl TertiaryIo {
                 Err(DevError::EndOfMedium { .. }) => {
                     self.tseg.borrow_mut().volume_mut(vol).full = true;
                 }
-                Err(_) => {}
+                Err(e) => {
+                    // Never assume the write landed: the slot is burned
+                    // (cursor already moved) but no replica is recorded,
+                    // and the failure is logged rather than swallowed.
+                    self.stats.borrow_mut().replica_write_failures += 1;
+                    self.fault_log.borrow_mut().push(FaultEvent::WriteFault {
+                        at: t,
+                        seg: tert_seg,
+                        vol,
+                        slot,
+                        error: e,
+                    });
+                }
             }
         }
         t
@@ -720,7 +737,17 @@ impl TertiaryIo {
                     Err(DevError::EndOfMedium { .. }) => {
                         self.tseg.borrow_mut().volume_mut(vol).full = true;
                     }
-                    Err(_) => {}
+                    Err(e) => {
+                        self.stats.borrow_mut().replica_write_failures += 1;
+                        self.fault_log.borrow_mut().push(FaultEvent::WriteFault {
+                            at: t,
+                            seg,
+                            vol,
+                            slot,
+                            error: e,
+                        });
+                        report.write_failures += 1;
+                    }
                 }
             }
         }

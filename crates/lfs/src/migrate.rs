@@ -247,16 +247,14 @@ impl Lfs {
         // raw from their old disk location — the paper's migrator "reads
         // them directly from the disk device into memory" (§6.7).
         let mut image = vec![0u8; (1 + nblocks) * BLOCK_SIZE];
-        let mut firstwords = Vec::with_capacity(nblocks);
         for (i, &(ino, lb, old_addr)) in blocks.iter().enumerate() {
             let dst_range = (1 + i) * BLOCK_SIZE..(2 + i) * BLOCK_SIZE;
             if let Some(b) = self.cache.get(ino, lb) {
-                image[dst_range.clone()].copy_from_slice(&b.data);
+                image[dst_range].copy_from_slice(&b.data);
             } else {
                 let data = self.read_raw(old_addr, 1)?;
-                image[dst_range.clone()].copy_from_slice(&data);
+                image[dst_range].copy_from_slice(&data);
             }
-            firstwords.push(crate::ondisk::get_u32(&image[dst_range], 0));
         }
 
         // Inode blocks, packed 32 per block; imap follows the move.
@@ -283,13 +281,13 @@ impl Lfs {
                 }
                 report.inodes_moved += 1;
             }
-            firstwords.push(crate::ondisk::get_u32(&image[off..], 0));
         }
         summary.inode_addrs = inode_addrs;
 
         {
-            let (head, _) = image.split_at_mut(BLOCK_SIZE);
-            summary.encode(&mut head[..self.sb.summary_bytes as usize], &firstwords);
+            let (head, payload) = image.split_at_mut(BLOCK_SIZE);
+            let datasum = SegSummary::datasum_of(payload);
+            summary.encode(&mut head[..self.sb.summary_bytes as usize], datasum);
         }
 
         // One large write at the tertiary address; under HighLight the
@@ -384,7 +382,6 @@ impl Lfs {
             }
             last_serial = Some(summary.serial);
             let mut blk_idx = 0u32;
-            let mut firstwords = Vec::new();
             // Repoint file blocks described by the FINFOs.
             for fi in summary.finfos.clone() {
                 for &lbn in &fi.blocks {
@@ -403,8 +400,6 @@ impl Lfs {
                         self.set_bmap(fi.ino, lb, new_addr)?;
                         moved += 1;
                     }
-                    let boff = (off + 1 + blk_idx) as usize * block;
-                    firstwords.push(crate::ondisk::get_u32(&image[boff..], 0));
                     blk_idx += 1;
                 }
             }
@@ -433,15 +428,17 @@ impl Lfs {
                         moved += 1;
                     }
                 }
-                firstwords.push(crate::ondisk::get_u32(&image[boff..], 0));
                 blk_idx += 1;
             }
             summary.inode_addrs = new_inode_addrs;
             summary.serial = self.tert_serial;
             self.tert_serial += 1;
+            let payload_start = sum_off + block;
+            let payload_end = payload_start + blk_idx as usize * block;
+            let datasum = SegSummary::datasum_of(&image[payload_start..payload_end]);
             summary.encode(
                 &mut image[sum_off..sum_off + self.sb.summary_bytes as usize],
-                &firstwords,
+                datasum,
             );
             off += 1 + blk_idx;
         }

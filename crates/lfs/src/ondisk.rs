@@ -390,11 +390,14 @@ impl SegSummary {
         self.encoded_len() <= summary_bytes
     }
 
-    /// Serializes into the summary block. `data_firstwords` must hold the
-    /// first 4 bytes of every block in the partial segment, in disk
-    /// order; they form `ss_datasum`, the 4.4BSD "check one word per
-    /// block" data checksum.
-    pub fn encode(&self, buf: &mut [u8], data_firstwords: &[u32]) {
+    /// Serializes into the summary block. `datasum` is the
+    /// [`SegSummary::datasum_of`] checksum over the partial segment's
+    /// entire data payload (every block after the summary, in disk
+    /// order). 4.4BSD checked only one word per block; that misses a
+    /// write torn *inside* a block (the first word lands, the tail does
+    /// not), which the crash torture demonstrated corrupts roll-forward
+    /// — so `ss_datasum` here covers every payload byte.
+    pub fn encode(&self, buf: &mut [u8], datasum: u32) {
         buf.fill(0);
         put_u32(buf, 8, self.next);
         put_u64(buf, 12, self.serial);
@@ -420,12 +423,7 @@ impl SegSummary {
             back -= 4;
             put_u32(buf, back, addr);
         }
-        // ss_datasum over one word per block.
-        let mut dsum_buf = Vec::with_capacity(4 * data_firstwords.len());
-        for w in data_firstwords {
-            dsum_buf.extend_from_slice(&w.to_le_bytes());
-        }
-        put_u32(buf, 4, cksum(&dsum_buf));
+        put_u32(buf, 4, datasum);
         // ss_sumsum over everything after the checksum field itself.
         put_u32(buf, 0, cksum(&buf[4..]));
     }
@@ -489,13 +487,9 @@ impl SegSummary {
         ))
     }
 
-    /// Computes the data checksum for a slice of first-words.
-    pub fn datasum_of(words: &[u32]) -> u32 {
-        let mut buf = Vec::with_capacity(4 * words.len());
-        for w in words {
-            buf.extend_from_slice(&w.to_le_bytes());
-        }
-        cksum(&buf)
+    /// Computes `ss_datasum` over a partial segment's full data payload.
+    pub fn datasum_of(payload: &[u8]) -> u32 {
+        cksum(payload)
     }
 }
 
@@ -744,19 +738,23 @@ mod tests {
             blocks: vec![7],
         });
         s.inode_addrs = vec![500, 600];
-        let words = vec![0xdead_beefu32; s.data_blocks() + s.inode_addrs.len()];
+        let payload = vec![0xbeu8; 4096 * (s.data_blocks() + s.inode_addrs.len())];
         let mut buf = vec![0u8; 4096];
-        s.encode(&mut buf, &words);
+        s.encode(&mut buf, SegSummary::datasum_of(&payload));
         let (back, datasum) = SegSummary::decode(&buf).unwrap();
         assert_eq!(back, s);
-        assert_eq!(datasum, SegSummary::datasum_of(&words));
+        assert_eq!(datasum, SegSummary::datasum_of(&payload));
+        // A single flipped byte anywhere in the payload must show.
+        let mut torn = payload.clone();
+        torn[4096 + 2000] ^= 1;
+        assert_ne!(datasum, SegSummary::datasum_of(&torn));
     }
 
     #[test]
     fn summary_detects_bit_rot() {
         let s = SegSummary::new(1, 1);
         let mut buf = vec![0u8; 512];
-        s.encode(&mut buf, &[]);
+        s.encode(&mut buf, 0);
         buf[20] ^= 1;
         assert!(SegSummary::decode(&buf).is_err());
     }

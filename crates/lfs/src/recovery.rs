@@ -6,7 +6,7 @@
 //! of the last complete partial segment."
 //!
 //! The roll-forward chain is validated three ways: the summary checksum
-//! (`ss_sumsum`), the data checksum over one word per block
+//! (`ss_sumsum`), the data checksum over the entire payload
 //! (`ss_datasum`), and an exact write-serial sequence starting at the
 //! checkpoint's `log_serial` — the serial chain cleanly rejects stale
 //! summaries left in reused segments. Because the segment writer always
@@ -230,12 +230,11 @@ fn roll_forward(fs: &mut Lfs, ckpt: &Checkpoint, report: &mut RecoveryReport) ->
         if off + 1 + nblocks as u32 > bps {
             break; // impossible geometry: treat as torn
         }
-        // Verify the data checksum (atomicity of the partial, §3).
+        // Verify the data checksum (atomicity of the partial, §3). It
+        // covers every payload byte, so a write torn anywhere — even
+        // inside a block — stops roll-forward here.
         let data = fs.read_raw(sum_addr + 1, nblocks as u32)?;
-        let firstwords: Vec<u32> = (0..nblocks)
-            .map(|i| crate::ondisk::get_u32(&data, i * BLOCK_SIZE))
-            .collect();
-        if SegSummary::datasum_of(&firstwords) != datasum {
+        if SegSummary::datasum_of(&data) != datasum {
             break; // torn partial: recovery complete
         }
 

@@ -494,7 +494,6 @@ impl PartialBuilder {
 
         let nblocks = self.reserved as usize;
         let mut image = vec![0u8; (1 + nblocks) * BLOCK_SIZE];
-        let mut firstwords = Vec::with_capacity(nblocks);
 
         // File blocks.
         for (i, &(ino, lb, _addr)) in self.file_blocks.iter().enumerate() {
@@ -504,7 +503,6 @@ impl PartialBuilder {
                 .ok_or(LfsError::Corrupt("dirty block vanished from cache"))?;
             let dst = &mut image[(1 + i) * BLOCK_SIZE..(2 + i) * BLOCK_SIZE];
             dst.copy_from_slice(&src.data);
-            firstwords.push(crate::ondisk::get_u32(dst, 0));
         }
         // Inode blocks.
         let ino_base = self.file_blocks.len();
@@ -517,7 +515,6 @@ impl PartialBuilder {
                     .ok_or(LfsError::Corrupt("dirty inode vanished"))?;
                 ci.d.encode(&mut image[off + slot * DINODE_SIZE..off + (slot + 1) * DINODE_SIZE]);
             }
-            firstwords.push(crate::ondisk::get_u32(&image[off..], 0));
         }
 
         // Summary.
@@ -525,8 +522,9 @@ impl PartialBuilder {
         summary.finfos = self.finfos;
         summary.inode_addrs = self.inode_blocks.iter().map(|(a, _)| *a).collect();
         {
-            let (head, _) = image.split_at_mut(BLOCK_SIZE);
-            summary.encode(&mut head[..fs.sb.summary_bytes as usize], &firstwords);
+            let (head, payload) = image.split_at_mut(BLOCK_SIZE);
+            let datasum = SegSummary::datasum_of(payload);
+            summary.encode(&mut head[..fs.sb.summary_bytes as usize], datasum);
         }
 
         // One large sequential write.

@@ -20,6 +20,7 @@
 pub mod backing;
 pub mod blockdev;
 pub mod bus;
+pub mod crash;
 pub mod disk;
 pub mod error;
 pub mod fault;
@@ -30,6 +31,7 @@ pub mod tape;
 pub use backing::SparseStore;
 pub use blockdev::{BlockDev, IoSlot};
 pub use bus::ScsiBus;
+pub use crash::{every_crash_point, CrashDev, CrashPlan, TornWrite};
 pub use disk::{Disk, DiskStats};
 pub use error::DevError;
 pub use fault::{FaultConfig, FaultPlan, FaultyDev, Injected, MediaFault, SwapFault};

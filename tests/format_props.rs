@@ -81,15 +81,15 @@ proptest! {
         flip_at in 0usize..4096,
         flip_bit in 0u8..8,
     ) {
-        let words = vec![0x1234_5678u32; s.data_blocks() + s.inode_addrs.len()];
+        let payload = vec![0x5au8; 64 * (s.data_blocks() + s.inode_addrs.len())];
         if !s.fits(4096) {
             return Ok(());
         }
         let mut buf = vec![0u8; 4096];
-        s.encode(&mut buf, &words);
+        s.encode(&mut buf, SegSummary::datasum_of(&payload));
         let (back, datasum) = SegSummary::decode(&buf).expect("decode");
         prop_assert_eq!(&back, &s);
-        prop_assert_eq!(datasum, SegSummary::datasum_of(&words));
+        prop_assert_eq!(datasum, SegSummary::datasum_of(&payload));
         // Any single-bit flip must be detected (checksum) or be outside
         // the encoded region entirely (zero padding flips still break
         // ss_sumsum, which covers the whole block).
