@@ -21,4 +21,21 @@ cargo test -q --test crash_torture --test crash_props --test recovery_edges
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+# Bounded Table 4 / Table 6 smoke: the full 52-segment migration through
+# the queued engine. The benches print "Shape checks" lines — queuing
+# must stay negligible (<5%) and every contention throughput must fall
+# below its no-contention counterpart; any "false" fails the gate.
+echo "==> Table 4/6 smoke (queuing negligible; contention < no-contention)"
+for bench in table4 table6; do
+  out=$(cargo bench -q -p hl-bench --bench "$bench" 2>&1)
+  echo "$out" | grep -A 4 "Shape checks"
+  if echo "$out" | grep -A 4 "Shape checks" | grep -q "false"; then
+    echo "FAIL: $bench shape check regressed"
+    exit 1
+  fi
+done
+
 echo "CI OK"

@@ -8,27 +8,31 @@
 //! dispatched kernel requests to copy out dirty cache segments, and the
 //! I/O process, which performed the copies."
 //!
-//! The two processes are virtual-time [`Actor`]s sharing the device
-//! resources, so disk-arm contention (Table 6's two phases) emerges from
-//! the device model rather than being scripted: while the migrator is
-//! gathering file blocks and writing staging segments, the I/O server's
-//! reads of those same (or different) disks fight for the arm; once the
-//! migrator finishes, the I/O server streams at nearly the MO write
-//! speed.
+//! All three processes are real here: the migrator is a virtual-time
+//! [`Actor`] that gathers file blocks, stages them into
+//! [`highlight::SegCache`] lines, and queues copy-out requests; the
+//! service process and I/O server are [`highlight::TertiaryIo`]'s own
+//! engine actors, attached to the benchmark's scheduler
+//! (`TertiaryIo::attach_engine`). Disk-arm contention (Table 6's two
+//! phases) emerges from the shared device handles, backpressure from the
+//! bounded cache pool (a full pool parks the migrator until a copy-out
+//! completes), and Table 4's queuing column from measured queue
+//! residency inside the engine.
 
-use std::collections::VecDeque;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use hl_footprint::{Footprint, Jukebox};
-use hl_sim::time::{SimTime, MS};
-use hl_sim::{Actor, PhaseTimer, Scheduler, Step};
+use hl_lfs::config::AddressMap;
+use hl_lfs::types::SegNo;
+use hl_sim::time::SimTime;
+use hl_sim::{Actor, ActorId, PhaseTimer, Scheduler, Step};
 use hl_vdev::{BlockDev, Disk, BLOCK_SIZE};
+use highlight::requests::Ticket;
+use highlight::segcache::{EjectPolicy, LineState, SegCache};
+use highlight::{TertiaryIo, TsegTable, UniformMap};
 
-/// Phase labels (aligned with `highlight::service::phase`).
-pub const FOOTPRINT_WRITE: &str = "footprint write";
-/// The I/O server's staged-segment disk reads.
-pub const IOSERVER_READ: &str = "io server read";
-/// Time copy-out requests spent queued.
-pub const QUEUING: &str = "migrator queuing";
+pub use highlight::service::phase::{FOOTPRINT_WRITE, IOSERVER_READ, QUEUING};
 
 /// Pipeline parameters.
 pub struct PipelineConfig {
@@ -50,7 +54,8 @@ pub struct PipelineConfig {
     pub src_base: u64,
     /// First staging block on `staging_disk`.
     pub staging_base: u64,
-    /// Rotating staging slots (the cache lines in flight).
+    /// Cache lines available for staging (the lines in flight: a full
+    /// pool is the migrator's backpressure).
     pub staging_slots: u32,
     /// Migrator CPU cost per block copied.
     pub cpu_per_block: SimTime,
@@ -65,7 +70,8 @@ pub struct PipelineResult {
     pub total_end: SimTime,
     /// Per-segment copy-out completion times, ascending.
     pub completions: Vec<SimTime>,
-    /// Footprint write / I/O-server read / queuing accounting (Table 4).
+    /// Footprint write / I/O-server read / queuing accounting (Table 4),
+    /// straight from the engine.
     pub phases: PhaseTimer,
 }
 
@@ -99,33 +105,68 @@ impl PipelineResult {
 }
 
 struct World {
-    cfg: PipelineConfig,
-    /// `(staging slot index, enqueue time)`.
-    queue: VecDeque<(u32, SimTime)>,
+    tio: Rc<TertiaryIo>,
+    src_disk: Disk,
+    segments: u32,
+    blocks_per_seg: u32,
+    gather_cluster: u32,
+    src_base: u64,
+    cpu_per_block: SimTime,
+    /// The migrator's own wake handle, for copy-out backpressure.
+    migrator_id: ActorId,
+    tickets: Vec<Ticket>,
     migrator_done: Option<SimTime>,
-    copied: u32,
-    completions: Vec<SimTime>,
-    phases: PhaseTimer,
 }
 
 struct MigratorActor {
     next_seg: u32,
+    /// A sealed segment whose copy-out enqueue found the request queue
+    /// full, to retry on the next wake.
+    pending: Option<(SegNo, SimTime)>,
 }
 
 impl Actor<World> for MigratorActor {
     fn step(&mut self, w: &mut World, now: SimTime) -> Step {
-        if self.next_seg >= w.cfg.segments {
+        if let Some((seg, sealed_at)) = self.pending.take() {
+            let t = now.max(sealed_at);
+            match w.tio.try_enqueue_copy_out(t, seg) {
+                Some(ticket) => {
+                    w.tickets.push(ticket);
+                    self.next_seg += 1;
+                    if self.next_seg >= w.segments {
+                        w.migrator_done.get_or_insert(t);
+                        return Step::Done;
+                    }
+                }
+                None => {
+                    w.tio.subscribe_copyout(w.migrator_id);
+                    self.pending = Some((seg, sealed_at));
+                    return Step::Park;
+                }
+            }
+        }
+        if self.next_seg >= w.segments {
             w.migrator_done.get_or_insert(now);
             return Step::Done;
         }
-        // Throttle: never run more than `staging_slots` segments ahead of
-        // the I/O server (the uncopied lines pin disk space, §5.4).
-        if self.next_seg >= w.copied + w.cfg.staging_slots {
-            return Step::Yield(now + 20 * MS);
-        }
-        let seg = self.next_seg;
-        let bps = w.cfg.blocks_per_seg as u64;
-        let cluster = w.cfg.gather_cluster as u64;
+        let map = w.tio.map;
+        let spv = w.tio.jukebox().segments_per_volume();
+        let seg = map.tert_seg(self.next_seg / spv, self.next_seg % spv);
+        // Claim a staging line. A full pool (every line pinned by an
+        // unfinished copy-out) parks us; the engine wakes every copy-out
+        // waiter when the I/O server completes one (§5.4: the uncopied
+        // lines pin disk space).
+        let allocated = w
+            .tio
+            .cache()
+            .borrow_mut()
+            .allocate(seg, LineState::Staging, now);
+        let Some((disk_seg, _)) = allocated else {
+            w.tio.subscribe_copyout(w.migrator_id);
+            return Step::Park;
+        };
+        let bps = w.blocks_per_seg as u64;
+        let cluster = w.gather_cluster as u64;
         let mut t = now;
         // Gather the segment's blocks in clustered reads.
         let mut buf = vec![0u8; (cluster as usize) * BLOCK_SIZE];
@@ -133,29 +174,40 @@ impl Actor<World> for MigratorActor {
         while b < bps {
             let n = cluster.min(bps - b);
             let slot = w
-                .cfg
                 .src_disk
                 .read(
                     t,
-                    w.cfg.src_base + seg as u64 * bps + b,
+                    w.src_base + self.next_seg as u64 * bps + b,
                     &mut buf[..n as usize * BLOCK_SIZE],
                 )
                 .expect("gather read");
-            t = slot.end + w.cfg.cpu_per_block * n;
+            t = slot.end + w.cpu_per_block * n;
             b += n;
         }
-        // One large staging write (the migratev partial-segment write).
-        let slot_idx = seg % w.cfg.staging_slots;
+        // One large staging write (the migratev partial-segment write),
+        // to the line's home on the staging disk.
         let image = vec![0u8; bps as usize * BLOCK_SIZE];
         let wslot = w
-            .cfg
-            .staging_disk
-            .write(t, w.cfg.staging_base + slot_idx as u64 * bps, &image)
+            .tio
+            .disks_handle()
+            .write(t, map.seg_base(disk_seg) as u64, &image)
             .expect("staging write");
         t = wslot.end;
-        w.queue.push_back((slot_idx, t));
+        // Seal the line and hand it to the service process.
+        w.tio.cache().borrow_mut().set_state(seg, LineState::DirtyWait);
+        match w.tio.try_enqueue_copy_out(t, seg) {
+            Some(ticket) => w.tickets.push(ticket),
+            None => {
+                // Request queue full: park until the engine drains one
+                // copy-out, then retry the enqueue (the line stays
+                // sealed meanwhile).
+                w.tio.subscribe_copyout(w.migrator_id);
+                self.pending = Some((seg, t));
+                return Step::Park;
+            }
+        }
         self.next_seg += 1;
-        if self.next_seg >= w.cfg.segments {
+        if self.next_seg >= w.segments {
             w.migrator_done.get_or_insert(t);
             return Step::Done;
         }
@@ -167,79 +219,66 @@ impl Actor<World> for MigratorActor {
     }
 }
 
-struct IoServerActor {
-    /// When the server last became idle (dispatch-latency accounting).
-    free_since: SimTime,
-}
-
-impl Actor<World> for IoServerActor {
-    fn step(&mut self, w: &mut World, now: SimTime) -> Step {
-        let ready = w.queue.front().map(|&(_, enq)| enq <= now).unwrap_or(false);
-        if !ready {
-            if w.migrator_done.is_some() && w.queue.is_empty() {
-                return Step::Done;
-            }
-            return Step::Yield(now + 20 * MS);
-        }
-        let (slot_idx, enq) = w.queue.pop_front().expect("checked");
-        // Queuing is *dispatch* latency: the gap between "a request is
-        // pending and the server is free" and service actually starting
-        // (the paper's 1%). Backlog wait behind a busy server is the
-        // server's own busy time, not queuing.
-        w.phases
-            .add(QUEUING, now.saturating_sub(enq.max(self.free_since)));
-
-        let bps = w.cfg.blocks_per_seg as u64;
-        // Cache disk → memory (includes any wait for the shared arm:
-        // that wait *is* the contention the paper measures).
-        let mut buf = vec![0u8; bps as usize * BLOCK_SIZE];
-        let r = w
-            .cfg
-            .staging_disk
-            .read(now, w.cfg.staging_base + slot_idx as u64 * bps, &mut buf)
-            .expect("io server read");
-        w.phases.add(IOSERVER_READ, r.end - now);
-
-        // Memory → tertiary via Footprint.
-        let spv = w.cfg.jukebox.segments_per_volume();
-        let vol = w.copied / spv;
-        let slot = w.copied % spv;
-        let ws = w
-            .cfg
-            .jukebox
-            .write_segment(r.end, vol, slot, &buf)
-            .expect("footprint write");
-        w.phases.add(FOOTPRINT_WRITE, ws.end - r.end);
-        w.copied += 1;
-        w.completions.push(ws.end);
-        self.free_since = ws.end;
-        Step::Yield(ws.end)
-    }
-
-    fn name(&self) -> &str {
-        "io server"
-    }
-}
-
 /// Runs the pipeline to completion.
 pub fn run(cfg: PipelineConfig) -> PipelineResult {
+    // The uniform map places the staging pool at `staging_base` on the
+    // staging disk and mirrors the jukebox's geometry in the tertiary
+    // range, so the engine's copy-outs address the same blocks the old
+    // hand-rolled pipeline did.
+    let map = UniformMap::new(
+        cfg.staging_base as u32,
+        cfg.blocks_per_seg,
+        cfg.staging_slots,
+        cfg.jukebox.volumes(),
+        cfg.jukebox.segments_per_volume(),
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (0..cfg.staging_slots).collect::<Vec<SegNo>>(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = Rc::new(TertiaryIo::new(
+        map,
+        Rc::new(cfg.jukebox.clone()),
+        Rc::new(cfg.staging_disk.clone()),
+        cache,
+        tseg,
+    ));
+
+    let mut sched: Scheduler<World> = Scheduler::new();
+    tio.attach_engine(&mut sched);
+    let migrator_id = sched.spawn_at(
+        0,
+        MigratorActor {
+            next_seg: 0,
+            pending: None,
+        },
+    );
     let mut world = World {
-        cfg,
-        queue: VecDeque::new(),
+        tio: tio.clone(),
+        src_disk: cfg.src_disk,
+        segments: cfg.segments,
+        blocks_per_seg: cfg.blocks_per_seg,
+        gather_cluster: cfg.gather_cluster,
+        src_base: cfg.src_base,
+        cpu_per_block: cfg.cpu_per_block,
+        migrator_id,
+        tickets: Vec::new(),
         migrator_done: None,
-        copied: 0,
-        completions: Vec::new(),
-        phases: PhaseTimer::new(),
     };
-    let mut sched = Scheduler::new();
-    sched.spawn_at(0, MigratorActor { next_seg: 0 });
-    sched.spawn_at(0, IoServerActor { free_since: 0 });
     sched.run(&mut world);
+
+    let mut completions: Vec<SimTime> = world
+        .tickets
+        .iter()
+        .map(|t| t.copyout_result().expect("copy-out failed"))
+        .collect();
+    completions.sort_unstable();
     PipelineResult {
         migrator_done: world.migrator_done.unwrap_or(0),
-        total_end: world.completions.last().copied().unwrap_or(0),
-        completions: world.completions,
-        phases: world.phases,
+        total_end: completions.last().copied().unwrap_or(0),
+        completions,
+        phases: tio.phases(),
     }
 }
 
@@ -310,5 +349,26 @@ mod tests {
         let pcts = r.phases.percentages();
         assert!(pcts[FOOTPRINT_WRITE] > 50.0, "{pcts:?}");
         assert!(pcts[QUEUING] < pcts[FOOTPRINT_WRITE]);
+    }
+
+    #[test]
+    fn staging_pool_exhaustion_parks_and_resumes_the_migrator() {
+        // A 2-line pool forces the migrator to wait on copy-outs for
+        // most of the run; everything still completes.
+        let src = Disk::new(DiskProfile::RZ57, 300_000, None);
+        let jukebox = Jukebox::new(JukeboxConfig::hp6300_paper(), None);
+        let r = run(PipelineConfig {
+            segments: 8,
+            src_disk: src.clone(),
+            staging_disk: src,
+            jukebox,
+            blocks_per_seg: 256,
+            gather_cluster: 16,
+            src_base: 2,
+            staging_base: 200_000,
+            staging_slots: 2,
+            cpu_per_block: 100,
+        });
+        assert_eq!(r.completions.len(), 8);
     }
 }

@@ -7,7 +7,8 @@
 //! (torn write + dead device) at each boundary. After every crash the
 //! filesystem is remounted from the surviving image and must
 //!
-//! - recover (mount succeeds, [`RecoveryReport`] serial is sane),
+//! - recover (mount succeeds, [`hl_lfs::recovery::RecoveryReport`]
+//!   serial is sane),
 //! - pass the whole-hierarchy `hlfsck` with zero findings, and
 //! - still hold, byte for byte, every file the in-memory oracle knows
 //!   was checkpointed and untouched since.
@@ -404,12 +405,20 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
         plan.clone(),
     ));
     let mut oracle = Oracle::default();
+    // The tertiary engine's decision transcript, digested into every
+    // summary line: the determinism tests then also prove the service
+    // process dispatched identically on every replay of a seed.
+    let mut tio_digest = 0u64;
     let end = match HighLight::mount_with_report(
         crash_disk,
         Rc::new(r.jukebox.clone()),
         r.cfg.clone(),
     ) {
-        Ok((mut hl, _)) => run_ops(&mut hl, &plan, &r.clock, ops, &mut oracle),
+        Ok((mut hl, _)) => {
+            let end = run_ops(&mut hl, &plan, &r.clock, ops, &mut oracle);
+            tio_digest = hl.tio().transcript_digest();
+            end
+        }
         Err(e) => {
             if !plan.crashed() {
                 panic!("initial mount failed without a crash: {e}");
@@ -423,7 +432,7 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
                 plan.torn().is_none(),
                 "crash point {k}: device tore a write but the scenario completed"
             );
-            format!("k={k:04} nocrash")
+            format!("k={k:04} nocrash tio={tio_digest:016x}")
         }
         PassEnd::Crashed(op) => {
             let t = plan.torn().expect("crashed plan records its torn write");
@@ -431,7 +440,8 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
             // Captured by the test harness; surfaces on failure so the
             // failing crash point is diagnosable from the panic output.
             eprintln!("crash point {k}: {note} (during op {op})");
-            check_recovery(&r, &oracle, k, op, &note)
+            let line = check_recovery(&r, &oracle, k, op, &note);
+            format!("{line} tio={tio_digest:016x}")
         }
     }
 }
@@ -453,7 +463,10 @@ pub fn debug_one_pass(seed: u64, ops: &[TortureOp], k: u64) {
 pub fn run_single_crash(seed: u64, ops: &[TortureOp], pick: u64) -> Option<String> {
     let counting = CrashPlan::counting(seed);
     let full = one_pass(ops, counting.clone(), u64::MAX);
-    assert_eq!(full, format!("k={:04} nocrash", u64::MAX));
+    assert!(
+        full.starts_with(&format!("k={:04} nocrash", u64::MAX)),
+        "counting pass did not complete: {full}"
+    );
     let writes = counting.writes_seen();
     if writes == 0 {
         return None;
@@ -469,7 +482,10 @@ pub fn run_torture(seed: u64, ops: &[TortureOp], cap: Option<u64>) -> TortureRep
     // Counting pass: no crash; must complete and leave a clean image.
     let counting = CrashPlan::counting(seed);
     let full = one_pass(ops, counting.clone(), u64::MAX);
-    assert_eq!(full, format!("k={:04} nocrash", u64::MAX));
+    assert!(
+        full.starts_with(&format!("k={:04} nocrash", u64::MAX)),
+        "counting pass did not complete: {full}"
+    );
     let writes = counting.writes_seen();
     assert!(writes > 0, "scenario issued no writes — nothing to torture");
 
@@ -498,7 +514,7 @@ mod tests {
     fn counting_pass_completes_and_counts() {
         let plan = CrashPlan::counting(7);
         let line = one_pass(&standard_scenario(), plan.clone(), u64::MAX);
-        assert!(line.ends_with("nocrash"));
+        assert!(line.contains("nocrash"), "{line}");
         assert!(plan.writes_seen() > 10, "writes={}", plan.writes_seen());
     }
 

@@ -110,15 +110,23 @@ impl BlockMapDev {
         let line = self.cache.borrow_mut().lookup(seg, at);
         let (disk_seg, ready) = match line {
             Some(line) => {
-                if for_write && line.state == LineState::Clean {
+                if for_write && matches!(line.state, LineState::Clean | LineState::Filling) {
                     // "Data in cached tertiary-resident segments are not
                     // modified in place" (§4). Staging and sealed
                     // (DirtyWait) lines are still being assembled or
                     // relocated and do accept writes.
                     return Err(DevError::WriteOnceViolation { block });
                 }
-                // A prefetched line may still be filling.
-                (line.disk_seg, at.max(line.ready_at))
+                if line.state == LineState::Filling {
+                    // An in-flight fetch owns the line: join it (the
+                    // request coalesces onto the pending ticket) rather
+                    // than reading a half-filled line.
+                    self.tio.demand_fetch(at, seg).map_err(HlError::into_dev)?
+                } else {
+                    // A prefetched line may still be filling in the
+                    // background; `ready_at` covers it.
+                    (line.disk_seg, at.max(line.ready_at))
+                }
             }
             None if for_write => {
                 // Writes land only in staging lines the migrator set up.

@@ -29,6 +29,7 @@ use crate::addr::UniformMap;
 use crate::blockmap::BlockMapDev;
 use crate::migrator::AccessTracker;
 use crate::prefetch::{prefetch_targets, PrefetchPolicy, UnitHintMap};
+use crate::requests::Ticket;
 use crate::segcache::{EjectPolicy, LineState, SegCache};
 use crate::service::TertiaryIo;
 use crate::tsegfile::{TsegHooks, TsegTable};
@@ -572,6 +573,7 @@ impl HighLight {
             .map(|l| l.tert_seg);
         let Some(seed) = last else { return Ok(()) };
         let targets = prefetch_targets(&self.prefetch, &self.map, &self.hints, seed);
+        let mut queued = false;
         for seg in targets {
             if self.cache.borrow().peek(seg).is_some() {
                 continue;
@@ -587,9 +589,14 @@ impl HighLight {
             // "may choose unilaterally to ... insert new segments into
             // the cache"): the jukebox drive is booked from `now`, the
             // line becomes readable at its `ready_at`, and the
-            // application's clock does not block on it.
+            // application's clock does not block on it. All targets are
+            // queued first, so the service process orders the batch.
             let now = self.now();
-            let _ = self.tio.prefetch_fetch(now, seg);
+            let _ = self.tio.enqueue_prefetch(now, seg);
+            queued = true;
+        }
+        if queued {
+            self.tio.pump();
         }
         Ok(())
     }
@@ -784,12 +791,34 @@ impl HighLight {
 
     /// Copies all queued (delayed) segments out — the "later idle period
     /// when there will be no contention for the disk drive arm" (§5.4).
+    ///
+    /// The whole batch enters the service process's request queue before
+    /// the engine runs, so ordering and device-queue residency are the
+    /// engine's business; only end-of-medium relocation (a filesystem
+    /// concern: metadata must be repointed) is handled here per ticket.
     pub fn drain_copyouts(&mut self) -> Result<u32> {
         let mut stats = MigrateStats::default();
         let queue = std::mem::take(&mut self.copyout_queue);
         let n = queue.len() as u32;
-        for seg in queue {
-            self.copy_out_now(seg, &mut stats)?;
+        let now = self.now();
+        let tickets: Vec<(SegNo, Ticket)> = queue
+            .into_iter()
+            .map(|seg| (seg, self.tio.enqueue_copy_out(now, seg)))
+            .collect();
+        self.tio.pump();
+        for (seg, ticket) in tickets {
+            match ticket.copyout_result() {
+                Ok(end) => self.lfs.clock().advance_to(end),
+                Err(DevError::EndOfMedium { .. }) => {
+                    // Volume is full (tio marked it); relocate the
+                    // staging line and copy it out at its new address.
+                    let new_seg = self.pick_staging_segment()?;
+                    self.relocate_sealed(seg, new_seg)?;
+                    stats.relocations += 1;
+                    self.copy_out_now(new_seg, &mut stats)?;
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(n)
     }

@@ -1,6 +1,6 @@
 //! Whole-hierarchy consistency checking (`hlfsck`).
 //!
-//! [`Lfs::check`] audits a single-level LFS: namespace, link counts,
+//! [`hl_lfs::Lfs::check`] audits a single-level LFS: namespace, link counts,
 //! block pointers, segment accounting. HighLight adds state *around*
 //! that LFS — the tsegfile, the segment cache, the replica table, and
 //! media the LFS never reads directly — and a crash can tear any of it.

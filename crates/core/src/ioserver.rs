@@ -1,0 +1,121 @@
+//! The service-process and I/O-server actors (§6.7, Figure 5).
+//!
+//! The paper runs these as two user-level processes: the *service
+//! process* fields kernel requests and selects cache lines; the *I/O
+//! server* owns the Footprint device and moves whole segments. Here each
+//! is an [`Actor`] with park/wake semantics: the service process sleeps
+//! until a request arrives, drains the priority queue (demand > eject >
+//! copy-out > prefetch > scrub), and stalls when the bounded device
+//! queue fills; the I/O server sleeps until dispatched work arrives and
+//! executes it one operation at a time.
+//!
+//! Both actors are generic over the scheduler's world type, so the same
+//! pair runs on [`crate::service::TertiaryIo`]'s internal scheduler (the
+//! synchronous façades) or on a benchmark's scheduler alongside
+//! migrators and applications (`TertiaryIo::attach_engine`).
+
+use std::rc::Rc;
+
+use hl_sim::time::SimTime;
+use hl_sim::{Actor, ActorId, Scheduler, Step, Waker};
+
+use crate::requests::{ReqClass, DISPATCH_CPU};
+use crate::service::{phase, TioInner};
+
+/// Wake handles for the engine's actors on their current scheduler.
+pub(crate) struct EngineHandles {
+    pub(crate) waker: Waker,
+    pub(crate) svc: ActorId,
+    pub(crate) io: ActorId,
+}
+
+/// The service process: drains the request queue in priority order and
+/// feeds the device queue.
+struct SvcActor {
+    inner: Rc<TioInner>,
+}
+
+impl<W> Actor<W> for SvcActor {
+    fn step(&mut self, _world: &mut W, now: SimTime) -> Step {
+        if self.inner.queues.borrow().devq_full() {
+            // Backpressure: the I/O server wakes us when it pops.
+            return Step::Park;
+        }
+        let req = self.inner.queues.borrow_mut().pop_ready(now);
+        match req {
+            Some(req) => {
+                self.inner.dispatch(req, now);
+                // Fielding a request costs one dispatch hop of CPU.
+                Step::Yield(now + DISPATCH_CPU)
+            }
+            None => match self.inner.queues.borrow().next_ready() {
+                // A request is queued for the future (its enqueuer's
+                // clock runs ahead of ours): sleep until it arrives.
+                Some(t) if t > now => Step::Yield(t),
+                _ => Step::Park,
+            },
+        }
+    }
+
+    fn name(&self) -> &str {
+        "service-process"
+    }
+}
+
+/// The I/O server: drains the device queue one operation at a time,
+/// measuring each op's queue residency on the way out.
+struct IoActor {
+    inner: Rc<TioInner>,
+    /// When the last operation finished (the device-side busy horizon).
+    free_since: SimTime,
+}
+
+impl<W> Actor<W> for IoActor {
+    fn step(&mut self, _world: &mut W, now: SimTime) -> Step {
+        let op = self.inner.queues.borrow_mut().devq.pop_front();
+        let Some(op) = op else {
+            return Step::Park;
+        };
+        // A device-queue slot freed: the service process may dispatch.
+        self.inner.wake_svc(now);
+        let start = now.max(op.ready_at).max(self.free_since);
+        // Table 4's "queuing": time the op waited beyond the device
+        // simply being busy. With event-driven wakes this is just the
+        // dispatch hop when the server was idle, and zero when the op
+        // arrived while the server was busy.
+        let queued = start.saturating_sub(op.enqueued_at.max(self.free_since));
+        self.inner.phases.borrow_mut().add(phase::QUEUING, queued);
+        self.inner
+            .record_wait(op.class, start.saturating_sub(op.enqueued_at));
+        let end = self.inner.exec(&op, start);
+        self.free_since = end;
+        if op.class == ReqClass::CopyOut {
+            self.inner.wake_copyout_waiters(end);
+        }
+        Step::Yield(end)
+    }
+
+    fn name(&self) -> &str {
+        "io-server"
+    }
+}
+
+/// Spawns the engine's actor pair (parked) on `sched` and returns their
+/// wake handles.
+pub(crate) fn spawn_engine<W: 'static>(
+    inner: &Rc<TioInner>,
+    sched: &mut Scheduler<W>,
+) -> EngineHandles {
+    let svc = sched.spawn_parked(SvcActor {
+        inner: inner.clone(),
+    });
+    let io = sched.spawn_parked(IoActor {
+        inner: inner.clone(),
+        free_since: 0,
+    });
+    EngineHandles {
+        waker: sched.waker(),
+        svc,
+        io,
+    }
+}

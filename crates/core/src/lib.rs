@@ -31,10 +31,12 @@ pub mod blockmap;
 pub mod fault;
 pub mod fs;
 pub mod hlfsck;
+mod ioserver;
 pub mod migrator;
 pub mod prefetch;
 pub mod recovery;
 pub mod replicas;
+pub mod requests;
 pub mod segcache;
 pub mod service;
 pub mod stack;
@@ -49,6 +51,7 @@ pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy,
 pub use prefetch::PrefetchPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryState};
 pub use replicas::ReplicaSet;
+pub use requests::{FetchMode, Outcome, ReqClass, Ticket, DISPATCH_CPU};
 pub use segcache::{EjectPolicy, SegCache};
 pub use service::{ScrubReport, StallEvent, SvcStats, TertiaryIo};
 pub use tsegfile::TsegTable;

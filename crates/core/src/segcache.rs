@@ -24,6 +24,10 @@ use hl_sim::DetRng;
 pub enum LineState {
     /// Read-only copy of a tertiary segment: discardable at any time.
     Clean,
+    /// Being filled by an in-flight tertiary fetch: the line is claimed
+    /// (duplicate fetches coalesce onto it) but its data is not yet
+    /// readable, so it is pinned and rejects writes like `Clean`.
+    Filling,
     /// A staging segment being assembled by the migrator (dirty).
     Staging,
     /// Assembled and awaiting copy-out to tertiary storage (dirty: the

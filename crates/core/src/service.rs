@@ -1,31 +1,42 @@
-//! The service process and I/O server (§6.7), collapsed into one
-//! synchronous engine with full timing.
+//! The service process and I/O server (§6.7) as an event-driven engine.
 //!
 //! In the paper these are two user-level processes: the service process
 //! fields kernel requests (demand fetch, copy-out, ejection) and selects
 //! cache lines; the I/O server moves whole segments between the disk
 //! cache and the tertiary device through the Footprint library. Here the
-//! same steps run inline, each device operation charged to the shared
-//! virtual clock — and the per-phase accounting (Footprint write vs I/O
-//! server disk read vs queuing) is exactly what Table 4 reports.
+//! same split is explicit: requests enter a typed, priority-ordered
+//! request queue ([`crate::requests`]); a *service-process actor* drains
+//! it, selects cache lines, and feeds a bounded device queue; an *I/O
+//! server actor* drains that queue against the Footprint device. Both
+//! run on a virtual-time scheduler with park/wake semantics, so nothing
+//! polls — and Table 4's "queuing" row is measured off the queues
+//! themselves rather than charged synthetically.
 //!
-//! For the concurrent experiments (Tables 4 and 6) the engine is driven
-//! by scheduler actors; see [`crate::migrator`] and the bench crate.
+//! The old synchronous entry points ([`TertiaryIo::demand_fetch`] and
+//! friends) survive as façades: they enqueue, pump the engine's internal
+//! scheduler to quiescence, and read the completion [`Ticket`]. The
+//! concurrent experiments (Tables 4 and 6) instead attach the engine's
+//! actors to their own scheduler ([`TertiaryIo::attach_engine`]) and
+//! drive the queues directly.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use hl_footprint::Footprint;
 use hl_lfs::config::AddressMap;
 use hl_lfs::types::SegNo;
 use hl_sim::time::SimTime;
-use hl_sim::PhaseTimer;
-use hl_vdev::{BlockDev, DevError, IoSlot};
+use hl_sim::{ActorId, PhaseTimer, Scheduler};
+use hl_vdev::{BlockDev, DevError, IoSlot, IoTracker};
 
 use crate::addr::UniformMap;
 use crate::fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
+use crate::ioserver::{spawn_engine, EngineHandles};
 use crate::recovery::{RecoveryPolicy, RecoveryState};
 use crate::replicas::ReplicaSet;
+use crate::requests::{
+    DevOp, EngineQueues, FetchMode, Outcome, ReqClass, Request, Ticket, DISPATCH_CPU,
+};
 use crate::segcache::{LineState, SegCache};
 use crate::tsegfile::TsegTable;
 
@@ -39,7 +50,9 @@ pub mod phase {
     pub const IOSERVER_READ: &str = "io server read";
     /// Filling a cache line on disk with a fetched segment.
     pub const CACHE_FILL: &str = "cache fill write";
-    /// Requests waiting in queues.
+    /// Requests waiting in queues (measured at the device queue: time
+    /// between an op becoming dispatchable and the I/O server starting
+    /// it, beyond any time the device was simply busy).
     pub const QUEUING: &str = "queuing";
 }
 
@@ -94,6 +107,26 @@ pub struct SvcStats {
     /// Replica/scrub writes that failed outright (the slot was consumed
     /// but no copy was recorded).
     pub replica_write_failures: u64,
+    /// Requests that entered the request queue (cache hits bypass it).
+    pub queued_requests: u64,
+    /// Fetches that coalesced onto an already in-flight fetch of the
+    /// same tertiary segment (they cost no extra media read).
+    pub coalesced_fetches: u64,
+    /// Request-queue depth high-water mark.
+    pub reqq_hwm: u32,
+    /// Device-queue depth high-water mark.
+    pub devq_hwm: u32,
+    /// Cumulative queue residency (enqueue to device start) of demand
+    /// fetches.
+    pub wait_demand: SimTime,
+    /// Cumulative queue residency of copy-outs.
+    pub wait_copyout: SimTime,
+    /// Cumulative queue residency of prefetches.
+    pub wait_prefetch: SimTime,
+    /// Cumulative queue residency of scrub passes.
+    pub wait_scrub: SimTime,
+    /// Cumulative queue residency of ejection requests.
+    pub wait_eject: SimTime,
 }
 
 /// Outcome of one [`TertiaryIo::scrub`] pass.
@@ -109,155 +142,404 @@ pub struct ScrubReport {
     pub unrecoverable: Vec<SegNo>,
 }
 
-/// The tertiary I/O engine shared by the block-map device, the migrator,
-/// and the benchmarks.
-pub struct TertiaryIo {
-    /// The uniform address map.
-    pub map: UniformMap,
-    jukebox: Rc<dyn Footprint>,
+/// All engine state shared between the public façade and the two actors.
+pub(crate) struct TioInner {
+    pub(crate) map: UniformMap,
+    pub(crate) jukebox: Rc<dyn Footprint>,
     /// The raw disk device under the block map (cache lines live here).
-    disks: Rc<dyn BlockDev>,
-    cache: Rc<RefCell<SegCache>>,
-    tseg: Rc<RefCell<TsegTable>>,
-    phases: RefCell<PhaseTimer>,
-    stats: RefCell<SvcStats>,
-    seg_bytes: usize,
+    pub(crate) disks: Rc<dyn BlockDev>,
+    pub(crate) cache: Rc<RefCell<SegCache>>,
+    pub(crate) tseg: Rc<RefCell<TsegTable>>,
+    pub(crate) phases: RefCell<PhaseTimer>,
+    pub(crate) stats: RefCell<SvcStats>,
+    pub(crate) seg_bytes: usize,
     /// Replica homes for tertiary segments (§5.4 variant).
-    replicas: RefCell<ReplicaSet>,
+    pub(crate) replicas: RefCell<ReplicaSet>,
     /// Optional "hold on" notification agent (§10).
-    notifier: RefCell<Option<StallNotifier>>,
+    pub(crate) notifier: RefCell<Option<StallNotifier>>,
     /// Extra copies written per copy-out (0 = no replication).
-    replicate: std::cell::Cell<u32>,
+    pub(crate) replicate: Cell<u32>,
     /// Retry/failover/quarantine knobs (§10).
-    policy: std::cell::Cell<RecoveryPolicy>,
+    pub(crate) policy: Cell<RecoveryPolicy>,
     /// Per-volume failure strikes and quarantine set.
-    recovery: RefCell<RecoveryState>,
+    pub(crate) recovery: RefCell<RecoveryState>,
     /// Append-only record of every fault and recovery action.
-    fault_log: RefCell<FaultLog>,
+    pub(crate) fault_log: RefCell<FaultLog>,
+    /// The request queue, device queue, and coalescing directory.
+    pub(crate) queues: RefCell<EngineQueues>,
+    /// Wake handles onto whichever scheduler currently hosts the actors.
+    pub(crate) handles: RefCell<Option<EngineHandles>>,
+    /// Actors parked on copy-out backpressure, woken per completion.
+    pub(crate) copyout_waiters: RefCell<Vec<ActorId>>,
+    /// Outstanding-op intervals granted to the I/O server.
+    pub(crate) iotrack: RefCell<IoTracker>,
+    /// Latest virtual time any enqueuer has mentioned (anchors requests
+    /// that carry no time of their own, like ejections).
+    pub(crate) watermark: Cell<SimTime>,
 }
 
-impl TertiaryIo {
-    /// Wires the engine together.
-    pub fn new(
-        map: UniformMap,
-        jukebox: Rc<dyn Footprint>,
-        disks: Rc<dyn BlockDev>,
-        cache: Rc<RefCell<SegCache>>,
-        tseg: Rc<RefCell<TsegTable>>,
-    ) -> TertiaryIo {
-        let seg_bytes = jukebox.segment_bytes();
-        assert_eq!(
-            seg_bytes as u32 % hl_vdev::BLOCK_SIZE as u32,
-            0,
-            "segment size must be block-aligned"
-        );
-        assert_eq!(
-            seg_bytes as u32,
-            map.blocks_per_seg * hl_vdev::BLOCK_SIZE as u32,
-            "jukebox and filesystem disagree on segment size"
-        );
-        TertiaryIo {
-            map,
-            jukebox,
-            disks,
-            cache,
-            tseg,
-            phases: RefCell::new(PhaseTimer::new()),
-            stats: RefCell::new(SvcStats::default()),
-            seg_bytes,
-            replicas: RefCell::new(ReplicaSet::new()),
-            replicate: std::cell::Cell::new(0),
-            notifier: RefCell::new(None),
-            policy: std::cell::Cell::new(RecoveryPolicy::default()),
-            recovery: RefCell::new(RecoveryState::new()),
-            fault_log: RefCell::new(FaultLog::new()),
-        }
-    }
-
-    /// Installs the per-process "hold on" notification agent (§10).
-    pub fn set_stall_notifier(&self, f: StallNotifier) {
-        *self.notifier.borrow_mut() = Some(f);
-    }
-
-    fn notify(&self, event: StallEvent) {
+impl TioInner {
+    pub(crate) fn notify(&self, event: StallEvent) {
         if let Some(f) = &*self.notifier.borrow() {
             f(event);
         }
     }
 
-    /// Sets how many replica copies each copy-out writes (§5.4: "perhaps
-    /// having the Footprint server keep two copies of everything written
-    /// to it", §10's reliability suggestion).
-    pub fn set_replication(&self, copies: u32) {
-        self.replicate.set(copies);
+    pub(crate) fn note_time(&self, at: SimTime) {
+        self.watermark.set(self.watermark.get().max(at));
     }
 
-    /// The replica table (the tertiary cleaner prunes it).
-    pub fn replicas(&self) -> &RefCell<ReplicaSet> {
-        &self.replicas
+    /// Wakes the service-process actor at `at`.
+    pub(crate) fn wake_svc(&self, at: SimTime) {
+        if let Some(h) = &*self.handles.borrow() {
+            h.waker.wake(h.svc, at);
+        }
     }
 
-    /// Sets the retry/failover/quarantine policy (§10).
-    pub fn set_recovery_policy(&self, p: RecoveryPolicy) {
-        self.policy.set(p);
+    /// Wakes the I/O-server actor at `at`.
+    pub(crate) fn wake_io(&self, at: SimTime) {
+        if let Some(h) = &*self.handles.borrow() {
+            h.waker.wake(h.io, at);
+        }
     }
 
-    /// The active recovery policy.
-    pub fn recovery_policy(&self) -> RecoveryPolicy {
-        self.policy.get()
+    /// Wakes every actor parked on copy-out backpressure.
+    pub(crate) fn wake_copyout_waiters(&self, at: SimTime) {
+        let waiters: Vec<ActorId> = self.copyout_waiters.borrow_mut().drain(..).collect();
+        if waiters.is_empty() {
+            return;
+        }
+        if let Some(h) = &*self.handles.borrow() {
+            for id in waiters {
+                h.waker.wake(id, at);
+            }
+        }
     }
 
-    /// Snapshot of the global fault/recovery log.
-    pub fn fault_log(&self) -> FaultLog {
-        self.fault_log.borrow().clone()
+    /// Adds `wait` to the per-class queue-residency counter.
+    pub(crate) fn record_wait(&self, class: ReqClass, wait: SimTime) {
+        let mut st = self.stats.borrow_mut();
+        match class {
+            ReqClass::Demand => st.wait_demand += wait,
+            ReqClass::Eject => st.wait_eject += wait,
+            ReqClass::CopyOut => st.wait_copyout += wait,
+            ReqClass::Prefetch => st.wait_prefetch += wait,
+            ReqClass::Scrub => st.wait_scrub += wait,
+        }
     }
 
-    /// Volumes currently quarantined, sorted.
-    pub fn quarantined_volumes(&self) -> Vec<u32> {
-        self.recovery.borrow().quarantined_volumes()
+    /// The service process fields one request at `now`: ejections finish
+    /// inline; everything else gets a cache line selected and enters the
+    /// device queue with a `ready_at` one dispatch hop in the future.
+    pub(crate) fn dispatch(&self, req: Request, now: SimTime) {
+        match req.class {
+            ReqClass::Eject => {
+                let seg = req.seg.expect("eject targets a segment");
+                let ok = self.do_eject(seg);
+                self.record_wait(ReqClass::Eject, now.saturating_sub(req.enqueued_at));
+                self.queues
+                    .borrow_mut()
+                    .log(format!("svc eject seg {seg} -> {ok} t{now}"));
+                req.ticket.complete(Outcome::Eject(ok));
+            }
+            ReqClass::Scrub => {
+                self.push_devop(DevOp {
+                    class: req.class,
+                    seg: None,
+                    disk_seg: None,
+                    mode: None,
+                    enqueued_at: req.enqueued_at,
+                    ready_at: now + DISPATCH_CPU,
+                    demand_enq: None,
+                    ticket: req.ticket,
+                });
+            }
+            ReqClass::Demand | ReqClass::Prefetch => {
+                let seg = req.seg.expect("fetch targets a segment");
+                let resident = self.cache.borrow().peek(seg).copied();
+                if let Some(line) = resident {
+                    if line.state != LineState::Filling {
+                        // Became resident between enqueue and dispatch.
+                        self.queues.borrow_mut().retire_fetch(seg);
+                        req.ticket.complete(Outcome::Fetch(Ok((
+                            line.disk_seg,
+                            now.max(line.ready_at),
+                        ))));
+                        return;
+                    }
+                    // Two in-flight fetches of one segment cannot reach
+                    // dispatch: the coalescing directory merges them at
+                    // enqueue time.
+                    debug_assert!(false, "duplicate in-flight fetch of seg {seg}");
+                }
+                // "The service process finds a reusable segment on disk
+                // and directs the I/O process to fetch the necessary
+                // tertiary-resident segment into that segment" (§6.2).
+                // Ejected clean lines need no I/O: they never hold the
+                // sole copy of a block (§4). `Filling` pins the line
+                // until the fetch lands.
+                let allocated = self.cache.borrow_mut().allocate(seg, LineState::Filling, now);
+                let Some((disk_seg, _ejected)) = allocated else {
+                    // Every line is pinned: the fetch cannot be served.
+                    self.queues.borrow_mut().retire_fetch(seg);
+                    req.ticket
+                        .complete(Outcome::Fetch(Err(HlError::Dev(DevError::Offline))));
+                    return;
+                };
+                self.push_devop(DevOp {
+                    class: req.class,
+                    seg: Some(seg),
+                    disk_seg: Some(disk_seg),
+                    mode: req.mode,
+                    enqueued_at: req.enqueued_at,
+                    ready_at: now + DISPATCH_CPU,
+                    demand_enq: req.demand_enq,
+                    ticket: req.ticket,
+                });
+            }
+            ReqClass::CopyOut => {
+                let seg = req.seg.expect("copy-out targets a segment");
+                let line = self.cache.borrow().peek(seg).copied();
+                let sealed = match line {
+                    // Not sealed: nothing coherent to write. A caller
+                    // bug, but a recoverable one — refuse, don't panic.
+                    Some(l) if l.state == LineState::DirtyWait => Some(l),
+                    _ => None,
+                };
+                let Some(line) = sealed else {
+                    req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+                    // A refused copy-out still resolves waiters parked
+                    // on its completion.
+                    self.wake_copyout_waiters(now);
+                    return;
+                };
+                let Some((vol, _slot)) = self.map.vol_slot(seg) else {
+                    req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+                    self.wake_copyout_waiters(now);
+                    return;
+                };
+                if self.recovery.borrow().is_quarantined(vol) {
+                    // The segment's primary volume is gone; the migrator
+                    // must relocate the staged data.
+                    req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+                    self.wake_copyout_waiters(now);
+                    return;
+                }
+                self.push_devop(DevOp {
+                    class: req.class,
+                    seg: Some(seg),
+                    disk_seg: Some(line.disk_seg),
+                    mode: None,
+                    enqueued_at: req.enqueued_at,
+                    ready_at: now + DISPATCH_CPU,
+                    demand_enq: None,
+                    ticket: req.ticket,
+                });
+            }
+        }
     }
 
-    /// The shared cache handle.
-    pub fn cache(&self) -> Rc<RefCell<SegCache>> {
-        self.cache.clone()
+    fn push_devop(&self, op: DevOp) {
+        let ready = op.ready_at;
+        let depth = {
+            let mut q = self.queues.borrow_mut();
+            q.log(format!(
+                "io+ {} seg {} ready t{ready}",
+                op.class.label(),
+                op.seg.map_or("-".to_string(), |s| s.to_string())
+            ));
+            q.devq.push_back(op);
+            q.devq.len()
+        };
+        let mut st = self.stats.borrow_mut();
+        st.devq_hwm = st.devq_hwm.max(depth as u32);
+        drop(st);
+        self.wake_io(ready);
     }
 
-    /// The shared tertiary segment table.
-    pub fn tseg(&self) -> Rc<RefCell<TsegTable>> {
-        self.tseg.clone()
+    /// Executes one device op at `start`, resolves its ticket, and
+    /// returns when the I/O server is next free.
+    pub(crate) fn exec(&self, op: &DevOp, start: SimTime) -> SimTime {
+        match op.class {
+            ReqClass::Demand | ReqClass::Prefetch => self.exec_fetch(op, start),
+            ReqClass::CopyOut => self.exec_copyout(op, start),
+            ReqClass::Scrub => {
+                let report = self.scrub_pass(start);
+                let end = report.end;
+                self.queues
+                    .borrow_mut()
+                    .log(format!("io! scrub done t{end}"));
+                op.ticket.complete(Outcome::Scrub(Box::new(report)));
+                end
+            }
+            // Ejections never reach the device queue.
+            ReqClass::Eject => start,
+        }
     }
 
-    /// The jukebox handle.
-    pub fn jukebox(&self) -> Rc<dyn Footprint> {
-        self.jukebox.clone()
+    fn fail_fetch(&self, op: &DevOp, seg: SegNo, err: HlError) {
+        self.cache.borrow_mut().eject(seg);
+        let mut q = self.queues.borrow_mut();
+        q.retire_fetch(seg);
+        q.log(format!("io! fetch seg {seg} failed"));
+        drop(q);
+        op.ticket.complete(Outcome::Fetch(Err(err)));
     }
 
-    /// The raw disk device beneath the block map.
-    pub fn disks_handle(&self) -> Rc<dyn BlockDev> {
-        self.disks.clone()
+    fn exec_fetch(&self, op: &DevOp, start: SimTime) -> SimTime {
+        let seg = op.seg.expect("fetch targets a segment");
+        let disk_seg = op.disk_seg.expect("fetch got a line at dispatch");
+        // I/O server: tertiary → memory, with retry/failover (§10).
+        let mut buf = vec![0u8; self.seg_bytes];
+        let r = match self.fetch_segment(start, seg, &mut buf) {
+            Ok((r, _home)) => r,
+            Err(e) => {
+                self.fail_fetch(op, seg, e);
+                return start;
+            }
+        };
+        self.phases
+            .borrow_mut()
+            .add(phase::FOOTPRINT_READ, r.duration());
+        self.iotrack.borrow_mut().admit(r);
+        let base = self.map.seg_base(disk_seg) as u64;
+        let (ready, end) = match op.mode.unwrap_or(FetchMode::Demand) {
+            FetchMode::Demand => {
+                // Memory → raw cache disk ("direct access avoids ...
+                // pollution of the block buffer cache", §6.7).
+                let w = match self.disks.write(r.end, base, &buf) {
+                    Ok(w) => w,
+                    Err(e) => {
+                        self.fail_fetch(op, seg, e.into());
+                        return r.end;
+                    }
+                };
+                self.phases
+                    .borrow_mut()
+                    .add(phase::CACHE_FILL, w.duration());
+                self.iotrack.borrow_mut().admit(w);
+                (w.end, w.end)
+            }
+            FetchMode::Prefetch => {
+                // Fill the line without booking the arm horizon (the
+                // background write interleaves with foreground reads in
+                // reality; booking a future slot on the scalar-horizon
+                // arm resource would instead stall all earlier
+                // foreground I/O). The fill's duration still delays the
+                // line's readiness, and the I/O server is free as soon
+                // as the tertiary read completes.
+                if let Err(e) = self.disks.poke(base, &buf) {
+                    self.fail_fetch(op, seg, e.into());
+                    return r.end;
+                }
+                let fill = hl_sim::time::transfer_time(self.seg_bytes as u64, 993.0);
+                let ready = r.end + fill;
+                self.iotrack.borrow_mut().admit(IoSlot {
+                    start: r.end,
+                    end: ready,
+                });
+                (ready, r.end)
+            }
+        };
+        {
+            let mut cache = self.cache.borrow_mut();
+            cache.set_state(seg, LineState::Clean);
+            cache.set_ready_at(seg, ready);
+        }
+        {
+            let mut q = self.queues.borrow_mut();
+            q.retire_fetch(seg);
+            q.log(format!("io! fetch seg {seg} ready t{ready}"));
+        }
+        if let Some(demand_enq) = op.demand_enq {
+            self.notify(StallEvent::Resumed {
+                seg,
+                stalled_for: ready - demand_enq,
+            });
+        }
+        let mut stats = self.stats.borrow_mut();
+        stats.demand_fetches += 1;
+        stats.fetch_time += ready - op.enqueued_at;
+        drop(stats);
+        op.ticket.complete(Outcome::Fetch(Ok((disk_seg, ready))));
+        end
     }
 
-    /// Phase timing snapshot (Table 4).
-    pub fn phases(&self) -> PhaseTimer {
-        self.phases.borrow().clone()
-    }
+    fn exec_copyout(&self, op: &DevOp, start: SimTime) -> SimTime {
+        let seg = op.seg.expect("copy-out targets a segment");
+        let disk_seg = op.disk_seg.expect("copy-out got a line at dispatch");
+        let Some((vol, slot)) = self.map.vol_slot(seg) else {
+            op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+            return start;
+        };
+        // Re-check at service time: the volume may have been quarantined
+        // while the op sat in the device queue.
+        if self.recovery.borrow().is_quarantined(vol) {
+            op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+            return start;
+        }
 
-    /// Adds queue-wait time (recorded by the actor harnesses).
-    pub fn charge_queuing(&self, dt: SimTime) {
-        self.phases.borrow_mut().add(phase::QUEUING, dt);
-    }
+        // I/O server: cache disk → memory.
+        let mut buf = vec![0u8; self.seg_bytes];
+        let base = self.map.seg_base(disk_seg) as u64;
+        let r = match self.disks.read(start, base, &mut buf) {
+            Ok(r) => r,
+            Err(e) => {
+                op.ticket.complete(Outcome::CopyOut(Err(e)));
+                return start;
+            }
+        };
+        self.phases
+            .borrow_mut()
+            .add(phase::IOSERVER_READ, r.duration());
+        self.iotrack.borrow_mut().admit(r);
 
-    /// Resets phase timing, counters, and the fault log (quarantines and
-    /// failure strikes persist: they describe media, not accounting).
-    pub fn reset_accounting(&self) {
-        *self.phases.borrow_mut() = PhaseTimer::new();
-        *self.stats.borrow_mut() = SvcStats::default();
-        self.fault_log.borrow_mut().clear();
-    }
-
-    /// Counter snapshot.
-    pub fn stats(&self) -> SvcStats {
-        *self.stats.borrow()
+        // Memory → tertiary, via Footprint.
+        match self.jukebox.write_segment(r.end, vol, slot, &buf) {
+            Ok(w) => {
+                self.phases
+                    .borrow_mut()
+                    .add(phase::FOOTPRINT_WRITE, w.duration());
+                self.iotrack.borrow_mut().admit(w);
+                self.cache.borrow_mut().set_state(seg, LineState::Clean);
+                {
+                    let mut tseg = self.tseg.borrow_mut();
+                    let u = tseg.seg_mut(seg);
+                    u.avail_bytes = self.seg_bytes as u32;
+                    let v = tseg.volume_mut(vol);
+                    v.next_slot = v.next_slot.max(slot + 1);
+                }
+                let end = self.write_replicas(w.end, seg, vol, &buf);
+                self.queues
+                    .borrow_mut()
+                    .log(format!("io! copyout seg {seg} done t{end}"));
+                let mut stats = self.stats.borrow_mut();
+                stats.copyouts += 1;
+                stats.copyout_time += end - op.enqueued_at;
+                drop(stats);
+                op.ticket.complete(Outcome::CopyOut(Ok(end)));
+                end
+            }
+            Err(DevError::EndOfMedium { written }) => {
+                self.tseg.borrow_mut().volume_mut(vol).full = true;
+                self.stats.borrow_mut().eom_events += 1;
+                self.fault_log.borrow_mut().push(FaultEvent::EndOfMedium {
+                    at: r.end,
+                    vol,
+                    slot,
+                });
+                self.queues
+                    .borrow_mut()
+                    .log(format!("io! copyout seg {seg} hit end-of-medium"));
+                op.ticket
+                    .complete(Outcome::CopyOut(Err(DevError::EndOfMedium { written })));
+                r.end
+            }
+            Err(e) => {
+                op.ticket.complete(Outcome::CopyOut(Err(e)));
+                r.end
+            }
+        }
     }
 
     /// All readable homes of `tert_seg`, "closest" copies first (§5.4:
@@ -414,177 +696,6 @@ impl TertiaryIo {
         })
     }
 
-    /// Demand-fetches `tert_seg` into the cache (§6.2): "the service
-    /// process finds a reusable segment on disk and directs the I/O
-    /// process to fetch the necessary tertiary-resident segment into that
-    /// segment." Returns the cache line's disk segment and the completion
-    /// time. Faults along the way are handled by [`Self::fetch_segment`]'s
-    /// recovery policy; if every copy is gone the error carries the fault
-    /// trail and already-cached lines keep serving (degraded mode).
-    pub fn demand_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<(SegNo, SimTime), HlError> {
-        if let Some(line) = self.cache.borrow_mut().lookup(tert_seg, at) {
-            return Ok((line.disk_seg, at));
-        }
-        self.notify(StallEvent::HoldOn { seg: tert_seg, at });
-        let (disk_seg, _ejected) = self
-            .cache
-            .borrow_mut()
-            .allocate(tert_seg, LineState::Clean, at)
-            .ok_or(DevError::Offline)?;
-        // Ejected clean lines need no I/O: they never hold the sole copy
-        // of a block (§4).
-
-        // I/O server: tertiary → memory, with retry/failover (§10).
-        let mut buf = vec![0u8; self.seg_bytes];
-        let r = match self.fetch_segment(at, tert_seg, &mut buf) {
-            Ok((r, _home)) => r,
-            Err(e) => {
-                self.cache.borrow_mut().eject(tert_seg);
-                return Err(e);
-            }
-        };
-        self.phases
-            .borrow_mut()
-            .add(phase::FOOTPRINT_READ, r.duration());
-        // Memory → raw cache disk ("direct access avoids ... pollution of
-        // the block buffer cache", §6.7).
-        let base = self.map.seg_base(disk_seg) as u64;
-        let w = match self.disks.write(r.end, base, &buf) {
-            Ok(w) => w,
-            Err(e) => {
-                self.cache.borrow_mut().eject(tert_seg);
-                return Err(e.into());
-            }
-        };
-        self.phases
-            .borrow_mut()
-            .add(phase::CACHE_FILL, w.duration());
-
-        self.cache.borrow_mut().set_ready_at(tert_seg, w.end);
-        self.notify(StallEvent::Resumed {
-            seg: tert_seg,
-            stalled_for: w.end - at,
-        });
-        let mut stats = self.stats.borrow_mut();
-        stats.demand_fetches += 1;
-        stats.fetch_time += w.end - at;
-        Ok((disk_seg, w.end))
-    }
-
-    /// Asynchronous prefetch fill (§6.2: the service/I/O processes "may
-    /// choose unilaterally to ... insert new segments into the cache").
-    /// The tertiary read books the drive from `at`; the cache-disk fill
-    /// is modelled as overlapped background work, so the line's
-    /// `ready_at` reflects both but the caller does not block. Readers
-    /// of the line wait until `ready_at` (the block-map enforces it).
-    pub fn prefetch_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, HlError> {
-        if self.cache.borrow_mut().lookup(tert_seg, at).is_some() {
-            return Ok(at);
-        }
-        let (disk_seg, _ejected) = self
-            .cache
-            .borrow_mut()
-            .allocate(tert_seg, LineState::Clean, at)
-            .ok_or(DevError::Offline)?;
-        let mut buf = vec![0u8; self.seg_bytes];
-        let r = match self.fetch_segment(at, tert_seg, &mut buf) {
-            Ok((r, _home)) => r,
-            Err(e) => {
-                self.cache.borrow_mut().eject(tert_seg);
-                return Err(e);
-            }
-        };
-        self.phases
-            .borrow_mut()
-            .add(phase::FOOTPRINT_READ, r.duration());
-        // Fill the line without booking the arm horizon (the background
-        // write interleaves with foreground reads in reality; booking a
-        // future slot on the scalar-horizon arm resource would instead
-        // stall all earlier foreground I/O). The fill's duration still
-        // delays the line's readiness.
-        let base = self.map.seg_base(disk_seg) as u64;
-        self.disks.poke(base, &buf)?;
-        let fill = hl_sim::time::transfer_time(self.seg_bytes as u64, 993.0);
-        let ready = r.end + fill;
-        self.cache.borrow_mut().set_ready_at(tert_seg, ready);
-        let mut stats = self.stats.borrow_mut();
-        stats.demand_fetches += 1;
-        stats.fetch_time += ready - at;
-        Ok(ready)
-    }
-
-    /// Copies a sealed (`DirtyWait`) staging line out to its tertiary
-    /// segment. On success the line becomes a clean cached copy.
-    ///
-    /// # Errors
-    ///
-    /// [`DevError::EndOfMedium`] if the volume filled early (compression
-    /// shortfall): the volume is marked full and the line left in
-    /// `DirtyWait`; the migrator relocates it (§6.3).
-    pub fn copy_out(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, DevError> {
-        let line = self
-            .cache
-            .borrow()
-            .peek(tert_seg)
-            .copied()
-            .ok_or(DevError::Offline)?;
-        if line.state != LineState::DirtyWait {
-            // Not sealed: nothing coherent to write. A caller bug, but a
-            // recoverable one — refuse rather than panic.
-            return Err(DevError::Offline);
-        }
-        let (vol, slot) = self.map.vol_slot(tert_seg).ok_or(DevError::Offline)?;
-        if self.recovery.borrow().is_quarantined(vol) {
-            // The segment's primary volume is gone; the migrator must
-            // relocate the staged data to a healthy address.
-            return Err(DevError::Offline);
-        }
-
-        // I/O server: cache disk → memory.
-        let mut buf = vec![0u8; self.seg_bytes];
-        let base = self.map.seg_base(line.disk_seg) as u64;
-        let r = self.disks.read(at, base, &mut buf)?;
-        self.phases
-            .borrow_mut()
-            .add(phase::IOSERVER_READ, r.duration());
-
-        // Memory → tertiary, via Footprint.
-        match self.jukebox.write_segment(r.end, vol, slot, &buf) {
-            Ok(w) => {
-                self.phases
-                    .borrow_mut()
-                    .add(phase::FOOTPRINT_WRITE, w.duration());
-                self.cache
-                    .borrow_mut()
-                    .set_state(tert_seg, LineState::Clean);
-                {
-                    let mut tseg = self.tseg.borrow_mut();
-                    let u = tseg.seg_mut(tert_seg);
-                    u.avail_bytes = self.seg_bytes as u32;
-                    let v = tseg.volume_mut(vol);
-                    v.next_slot = v.next_slot.max(slot + 1);
-                }
-                let end = self.write_replicas(w.end, tert_seg, vol, &buf);
-                let mut stats = self.stats.borrow_mut();
-                stats.copyouts += 1;
-                stats.copyout_time += end - at;
-                Ok(end)
-            }
-            Err(DevError::EndOfMedium { written }) => {
-                let mut tseg = self.tseg.borrow_mut();
-                tseg.volume_mut(vol).full = true;
-                self.stats.borrow_mut().eom_events += 1;
-                self.fault_log.borrow_mut().push(FaultEvent::EndOfMedium {
-                    at: r.end,
-                    vol,
-                    slot,
-                });
-                Err(DevError::EndOfMedium { written })
-            }
-            Err(e) => Err(e),
-        }
-    }
-
     /// Writes the configured replica copies of a freshly copied-out
     /// segment onto *other* volumes' free slots. Replicas are never
     /// counted as live data (§5.4), so only the volume cursor moves.
@@ -653,7 +764,7 @@ impl TertiaryIo {
     /// surviving (non-quarantined) copies, and writes fresh replicas
     /// until each segment again has `1 + replication` copies. Segments
     /// with no surviving copy are reported unrecoverable.
-    pub fn scrub(&self, at: SimTime) -> ScrubReport {
+    fn scrub_pass(&self, at: SimTime) -> ScrubReport {
         let target = 1 + self.replicate.get();
         let mut segs: Vec<SegNo> = self
             .tseg
@@ -758,7 +869,7 @@ impl TertiaryIo {
     /// Ejects a clean cached line ("read-only cached segments ... may be
     /// discarded from the cache at any time", §4). No-op for absent
     /// lines; pinned lines are refused.
-    pub fn eject(&self, tert_seg: SegNo) -> bool {
+    fn do_eject(&self, tert_seg: SegNo) -> bool {
         let mut cache = self.cache.borrow_mut();
         match cache.peek(tert_seg) {
             Some(line) if line.state == LineState::Clean => {
@@ -767,6 +878,446 @@ impl TertiaryIo {
             }
             _ => false,
         }
+    }
+}
+
+/// The tertiary I/O engine shared by the block-map device, the migrator,
+/// and the benchmarks.
+pub struct TertiaryIo {
+    /// The uniform address map.
+    pub map: UniformMap,
+    inner: Rc<TioInner>,
+    /// The internal scheduler the synchronous façades pump. Unused once
+    /// [`Self::attach_engine`] moves the actors to an external one.
+    engine: RefCell<Scheduler<()>>,
+    /// Set once the actors live on an external scheduler: the façades'
+    /// pump-based backpressure then cannot drain the queues itself.
+    external: Cell<bool>,
+}
+
+impl TertiaryIo {
+    /// Wires the engine together and spawns its two actors (parked) on
+    /// an internal scheduler.
+    pub fn new(
+        map: UniformMap,
+        jukebox: Rc<dyn Footprint>,
+        disks: Rc<dyn BlockDev>,
+        cache: Rc<RefCell<SegCache>>,
+        tseg: Rc<RefCell<TsegTable>>,
+    ) -> TertiaryIo {
+        let seg_bytes = jukebox.segment_bytes();
+        assert_eq!(
+            seg_bytes as u32 % hl_vdev::BLOCK_SIZE as u32,
+            0,
+            "segment size must be block-aligned"
+        );
+        assert_eq!(
+            seg_bytes as u32,
+            map.blocks_per_seg * hl_vdev::BLOCK_SIZE as u32,
+            "jukebox and filesystem disagree on segment size"
+        );
+        let inner = Rc::new(TioInner {
+            map,
+            jukebox,
+            disks,
+            cache,
+            tseg,
+            phases: RefCell::new(PhaseTimer::new()),
+            stats: RefCell::new(SvcStats::default()),
+            seg_bytes,
+            replicas: RefCell::new(ReplicaSet::new()),
+            notifier: RefCell::new(None),
+            replicate: Cell::new(0),
+            policy: Cell::new(RecoveryPolicy::default()),
+            recovery: RefCell::new(RecoveryState::new()),
+            fault_log: RefCell::new(FaultLog::new()),
+            queues: RefCell::new(EngineQueues::new()),
+            handles: RefCell::new(None),
+            copyout_waiters: RefCell::new(Vec::new()),
+            iotrack: RefCell::new(IoTracker::new()),
+            watermark: Cell::new(0),
+        });
+        let mut engine = Scheduler::new();
+        let handles = spawn_engine(&inner, &mut engine);
+        *inner.handles.borrow_mut() = Some(handles);
+        TertiaryIo {
+            map,
+            inner,
+            engine: RefCell::new(engine),
+            external: Cell::new(false),
+        }
+    }
+
+    /// Installs the per-process "hold on" notification agent (§10).
+    pub fn set_stall_notifier(&self, f: StallNotifier) {
+        *self.inner.notifier.borrow_mut() = Some(f);
+    }
+
+    /// Sets how many replica copies each copy-out writes (§5.4: "perhaps
+    /// having the Footprint server keep two copies of everything written
+    /// to it", §10's reliability suggestion).
+    pub fn set_replication(&self, copies: u32) {
+        self.inner.replicate.set(copies);
+    }
+
+    /// The replica table (the tertiary cleaner prunes it).
+    pub fn replicas(&self) -> &RefCell<ReplicaSet> {
+        &self.inner.replicas
+    }
+
+    /// Sets the retry/failover/quarantine policy (§10).
+    pub fn set_recovery_policy(&self, p: RecoveryPolicy) {
+        self.inner.policy.set(p);
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.inner.policy.get()
+    }
+
+    /// Snapshot of the global fault/recovery log.
+    pub fn fault_log(&self) -> FaultLog {
+        self.inner.fault_log.borrow().clone()
+    }
+
+    /// Volumes currently quarantined, sorted.
+    pub fn quarantined_volumes(&self) -> Vec<u32> {
+        self.inner.recovery.borrow().quarantined_volumes()
+    }
+
+    /// The shared cache handle.
+    pub fn cache(&self) -> Rc<RefCell<SegCache>> {
+        self.inner.cache.clone()
+    }
+
+    /// The shared tertiary segment table.
+    pub fn tseg(&self) -> Rc<RefCell<TsegTable>> {
+        self.inner.tseg.clone()
+    }
+
+    /// The jukebox handle.
+    pub fn jukebox(&self) -> Rc<dyn Footprint> {
+        self.inner.jukebox.clone()
+    }
+
+    /// The raw disk device beneath the block map.
+    pub fn disks_handle(&self) -> Rc<dyn BlockDev> {
+        self.inner.disks.clone()
+    }
+
+    /// Phase timing snapshot (Table 4).
+    pub fn phases(&self) -> PhaseTimer {
+        self.inner.phases.borrow().clone()
+    }
+
+    /// Resets phase timing, counters, the fault log, and the outstanding
+    /// I/O tracker (quarantines and failure strikes persist: they
+    /// describe media, not accounting).
+    pub fn reset_accounting(&self) {
+        *self.inner.phases.borrow_mut() = PhaseTimer::new();
+        *self.inner.stats.borrow_mut() = SvcStats::default();
+        self.inner.fault_log.borrow_mut().clear();
+        *self.inner.iotrack.borrow_mut() = IoTracker::new();
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SvcStats {
+        *self.inner.stats.borrow()
+    }
+
+    // -----------------------------------------------------------------
+    // Queued entry points (the kernel request queue of Figure 5).
+    // -----------------------------------------------------------------
+
+    /// Queues a demand fetch of `tert_seg`. Cache hits resolve the
+    /// ticket immediately without entering the queues; a fetch already
+    /// in flight is joined (coalesced) rather than duplicated.
+    pub fn enqueue_demand(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.enqueue_fetch(at, tert_seg, FetchMode::Demand)
+    }
+
+    /// Queues an asynchronous prefetch fill (§6.2: the service/I/O
+    /// processes "may choose unilaterally to ... insert new segments
+    /// into the cache"). Coalesces like [`Self::enqueue_demand`].
+    pub fn enqueue_prefetch(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.enqueue_fetch(at, tert_seg, FetchMode::Prefetch)
+    }
+
+    fn enqueue_fetch(&self, at: SimTime, tert_seg: SegNo, mode: FetchMode) -> Ticket {
+        self.inner.note_time(at);
+        let line = self.inner.cache.borrow_mut().lookup(tert_seg, at);
+        if let Some(line) = line {
+            if line.state != LineState::Filling {
+                // Resident: served without entering the queues at all.
+                let ticket = Ticket::new();
+                ticket.complete(Outcome::Fetch(Ok((line.disk_seg, at.max(line.ready_at)))));
+                return ticket;
+            }
+        }
+        let pending = self.inner.queues.borrow().pending_fetch(tert_seg);
+        if let Some(shared) = pending {
+            // Coalesce: N readers of one tertiary segment share one
+            // media read and observe the same `ready_at`.
+            self.inner.stats.borrow_mut().coalesced_fetches += 1;
+            if mode == FetchMode::Demand {
+                self.inner.queues.borrow_mut().upgrade_fetch(tert_seg, at);
+                self.inner.notify(StallEvent::HoldOn { seg: tert_seg, at });
+            }
+            self.inner
+                .queues
+                .borrow_mut()
+                .log(format!("join {} seg {tert_seg} t{at}", class_of(mode).label()));
+            self.inner.wake_svc(at);
+            return shared;
+        }
+        // Backpressure: a full request queue makes the enqueuer drain
+        // the engine before adding more (callers on an external
+        // scheduler use the `try_*` variants and park instead).
+        while !self.external.get() && self.inner.queues.borrow().reqq_full() {
+            self.pump();
+        }
+        if mode == FetchMode::Demand {
+            self.inner.notify(StallEvent::HoldOn { seg: tert_seg, at });
+        }
+        let ticket = Ticket::new();
+        self.push_request(Request {
+            class: class_of(mode),
+            seq: 0,
+            seg: Some(tert_seg),
+            mode: Some(mode),
+            enqueued_at: at,
+            demand_enq: (mode == FetchMode::Demand).then_some(at),
+            ticket: ticket.clone(),
+        });
+        ticket
+    }
+
+    /// Queues a copy-out of the sealed (`DirtyWait`) line of `tert_seg`.
+    pub fn enqueue_copy_out(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.inner.note_time(at);
+        while !self.external.get() && self.inner.queues.borrow().reqq_full() {
+            self.pump();
+        }
+        let ticket = Ticket::new();
+        self.push_request(Request {
+            class: ReqClass::CopyOut,
+            seq: 0,
+            seg: Some(tert_seg),
+            mode: None,
+            enqueued_at: at,
+            demand_enq: None,
+            ticket: ticket.clone(),
+        });
+        ticket
+    }
+
+    /// Non-blocking variant of [`Self::enqueue_copy_out`] for actors on
+    /// an external scheduler: `None` when the request queue is full, in
+    /// which case the caller should park and register itself with
+    /// [`Self::subscribe_copyout`] to be woken when a copy-out retires.
+    pub fn try_enqueue_copy_out(&self, at: SimTime, tert_seg: SegNo) -> Option<Ticket> {
+        self.inner.note_time(at);
+        if self.inner.queues.borrow().reqq_full() {
+            return None;
+        }
+        let ticket = Ticket::new();
+        self.push_request(Request {
+            class: ReqClass::CopyOut,
+            seq: 0,
+            seg: Some(tert_seg),
+            mode: None,
+            enqueued_at: at,
+            demand_enq: None,
+            ticket: ticket.clone(),
+        });
+        Some(ticket)
+    }
+
+    /// Queues a unilateral ejection of a clean line.
+    pub fn enqueue_eject(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.inner.note_time(at);
+        let ticket = Ticket::new();
+        self.push_request(Request {
+            class: ReqClass::Eject,
+            seq: 0,
+            seg: Some(tert_seg),
+            mode: None,
+            enqueued_at: at,
+            demand_enq: None,
+            ticket: ticket.clone(),
+        });
+        ticket
+    }
+
+    /// Queues a scrub / re-replication pass (§10).
+    pub fn enqueue_scrub(&self, at: SimTime) -> Ticket {
+        self.inner.note_time(at);
+        let ticket = Ticket::new();
+        self.push_request(Request {
+            class: ReqClass::Scrub,
+            seq: 0,
+            seg: None,
+            mode: None,
+            enqueued_at: at,
+            demand_enq: None,
+            ticket: ticket.clone(),
+        });
+        ticket
+    }
+
+    fn push_request(&self, req: Request) {
+        let at = req.enqueued_at;
+        let depth = {
+            let mut q = self.inner.queues.borrow_mut();
+            let label = req.class.label();
+            let seg = req.seg.map_or("-".to_string(), |s| s.to_string());
+            let seq = q.push(req);
+            q.log(format!("+req {seq} {label} seg {seg} t{at}"));
+            q.reqq_len()
+        };
+        let mut st = self.inner.stats.borrow_mut();
+        st.queued_requests += 1;
+        st.reqq_hwm = st.reqq_hwm.max(depth as u32);
+        drop(st);
+        self.inner.wake_svc(at);
+    }
+
+    /// Runs the internal engine to quiescence (every queued request
+    /// served), returning the furthest virtual time reached. A no-op
+    /// once the actors live on an external scheduler.
+    pub fn pump(&self) -> SimTime {
+        self.engine.borrow_mut().run(&mut ())
+    }
+
+    /// Moves the engine's actors onto an external scheduler, so they
+    /// interleave with the caller's own actors (the Table 4/6 rigs).
+    /// Returns the (service-process, I/O-server) actor ids. After this,
+    /// the synchronous façades must not be used: completion is observed
+    /// by running the external scheduler and polling tickets.
+    pub fn attach_engine<W: 'static>(&self, sched: &mut Scheduler<W>) -> (ActorId, ActorId) {
+        let handles = spawn_engine(&self.inner, sched);
+        let ids = (handles.svc, handles.io);
+        *self.inner.handles.borrow_mut() = Some(handles);
+        self.external.set(true);
+        ids
+    }
+
+    /// Registers an actor to be woken when the next copy-out completes
+    /// (backpressure relief for throttled producers).
+    pub fn subscribe_copyout(&self, id: ActorId) {
+        self.inner.copyout_waiters.borrow_mut().push(id);
+    }
+
+    /// Current (request queue, device queue) depths.
+    pub fn queue_depths(&self) -> (usize, usize) {
+        let q = self.inner.queues.borrow();
+        (q.reqq_len(), q.devq.len())
+    }
+
+    /// The engine's deterministic event transcript plus how many lines
+    /// were dropped at the cap.
+    pub fn transcript(&self) -> (Vec<String>, u64) {
+        let q = self.inner.queues.borrow();
+        let (lines, dropped) = q.transcript();
+        (lines.to_vec(), dropped)
+    }
+
+    /// FNV-1a digest of the transcript: byte-identical engine histories
+    /// (per seed) hash equal across runs.
+    pub fn transcript_digest(&self) -> u64 {
+        let q = self.inner.queues.borrow();
+        let (lines, dropped) = q.transcript();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for line in lines {
+            for b in line.bytes() {
+                mix(b);
+            }
+            mix(b'\n');
+        }
+        h ^ dropped
+    }
+
+    /// Operations the I/O server has executed against its devices.
+    pub fn io_ops(&self) -> u64 {
+        self.inner.iotrack.borrow().ops()
+    }
+
+    /// Cumulative device busy time under the I/O server.
+    pub fn io_busy_time(&self) -> SimTime {
+        self.inner.iotrack.borrow().busy_time()
+    }
+
+    /// Peak simultaneously outstanding device operations.
+    pub fn io_peak_in_flight(&self) -> usize {
+        self.inner.iotrack.borrow().peak_in_flight()
+    }
+
+    // -----------------------------------------------------------------
+    // Synchronous façades (enqueue + pump + read the ticket).
+    // -----------------------------------------------------------------
+
+    /// Demand-fetches `tert_seg` into the cache (§6.2). Returns the
+    /// cache line's disk segment and the completion time. Faults along
+    /// the way are handled by the engine's recovery policy; if every
+    /// copy is gone the error carries the fault trail and already-cached
+    /// lines keep serving (degraded mode).
+    pub fn demand_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<(SegNo, SimTime), HlError> {
+        let ticket = self.enqueue_demand(at, tert_seg);
+        self.pump();
+        ticket.fetch_result()
+    }
+
+    /// Asynchronous prefetch fill. The tertiary read books the drive
+    /// from `at`; the cache-disk fill is modelled as overlapped
+    /// background work, so the line's `ready_at` reflects both but the
+    /// caller does not block. Readers of the line wait until `ready_at`
+    /// (the block-map enforces it).
+    pub fn prefetch_fetch(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, HlError> {
+        let ticket = self.enqueue_prefetch(at, tert_seg);
+        self.pump();
+        ticket.fetch_result().map(|(_, ready)| ready)
+    }
+
+    /// Copies a sealed (`DirtyWait`) staging line out to its tertiary
+    /// segment. On success the line becomes a clean cached copy.
+    ///
+    /// # Errors
+    ///
+    /// [`DevError::EndOfMedium`] if the volume filled early (compression
+    /// shortfall): the volume is marked full and the line left in
+    /// `DirtyWait`; the migrator relocates it (§6.3).
+    pub fn copy_out(&self, at: SimTime, tert_seg: SegNo) -> Result<SimTime, DevError> {
+        let ticket = self.enqueue_copy_out(at, tert_seg);
+        self.pump();
+        ticket.copyout_result()
+    }
+
+    /// Background scrub / re-replicate pass (§10); see
+    /// [`ScrubReport`].
+    pub fn scrub(&self, at: SimTime) -> ScrubReport {
+        let ticket = self.enqueue_scrub(at);
+        self.pump();
+        ticket.scrub_result()
+    }
+
+    /// Ejects a clean cached line ("read-only cached segments ... may be
+    /// discarded from the cache at any time", §4). No-op for absent
+    /// lines; pinned lines are refused.
+    pub fn eject(&self, tert_seg: SegNo) -> bool {
+        let ticket = self.enqueue_eject(self.inner.watermark.get(), tert_seg);
+        self.pump();
+        ticket.eject_result()
+    }
+}
+
+fn class_of(mode: FetchMode) -> ReqClass {
+    match mode {
+        FetchMode::Demand => ReqClass::Demand,
+        FetchMode::Prefetch => ReqClass::Prefetch,
     }
 }
 
@@ -862,9 +1413,11 @@ mod tests {
         jb.poke_segment(0, 1, &vec![1u8; 1 << 20]).unwrap();
         tio.demand_fetch(0, map.tert_seg(0, 1)).unwrap();
         assert!(tio.stats().demand_fetches > 0);
+        assert!(tio.io_ops() > 0);
         tio.reset_accounting();
         assert_eq!(tio.stats().demand_fetches, 0);
         assert_eq!(tio.phases().total(), 0);
+        assert_eq!(tio.io_ops(), 0);
     }
 
     #[test]
@@ -1033,5 +1586,28 @@ mod tests {
             .allocate(seg, LineState::Staging, 0)
             .unwrap();
         assert_eq!(tio.copy_out(0, seg), Err(DevError::Offline));
+    }
+
+    #[test]
+    fn queue_waits_are_measured_not_charged() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(0, 2, &vec![4u8; 1 << 20]).unwrap();
+        let (_, end) = tio.demand_fetch(0, map.tert_seg(0, 2)).unwrap();
+        let st = tio.stats();
+        // One dispatch hop of residency, measured off the queue.
+        assert_eq!(st.wait_demand, DISPATCH_CPU);
+        assert_eq!(st.reqq_hwm, 1);
+        assert_eq!(st.devq_hwm, 1);
+        assert_eq!(st.queued_requests, 1);
+        // Queuing shows up in the Table 4 phases, and it is tiny
+        // relative to the device work.
+        let q = tio.phases().get(phase::QUEUING);
+        assert_eq!(q, DISPATCH_CPU);
+        assert!(q * 20 < end, "queuing must be a negligible share");
+        // The engine's transcript records the whole request history.
+        let (lines, dropped) = tio.transcript();
+        assert!(lines.iter().any(|l| l.contains("+req 0 demand")));
+        assert!(lines.iter().any(|l| l.contains("io! fetch")));
+        assert_eq!(dropped, 0);
     }
 }

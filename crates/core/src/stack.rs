@@ -137,10 +137,13 @@ pub fn render_fig4(hl: &HighLight) -> String {
     )
 }
 
-/// Figure 5: the layered architecture, annotated with live statistics.
+/// Figure 5: the layered architecture, annotated with live statistics —
+/// including the request and device queues the tertiary path now runs
+/// through (service process above, I/O server below).
 pub fn render_fig5(hl: &HighLight) -> String {
     let tio = hl.tio();
     let s = tio.stats();
+    let (reqq, devq) = tio.queue_depths();
     let cache = hl.cache();
     let cache = cache.borrow();
     format!(
@@ -156,16 +159,40 @@ pub fn render_fig5(hl: &HighLight) -> String {
                          | concatenated     tertiary driver   \n\
                          | disk driver           |            \n\
          ----------------+------------------+----------------\n\
-         user space      |   demand server / I/O server      \n\
-                         |   ({} fetches, {} copyouts)       \n\
+         user space      |   == request queue ==             \n\
+                         |   ({} now, hwm {}, {} queued,     \n\
+                         |    {} coalesced)                  \n\
+                         |           |                       \n\
+                         |   service process                 \n\
+                         |           |                       \n\
+                         |   == device queue ==              \n\
+                         |   ({} now, hwm {})                \n\
+                         |           |                       \n\
+                         |   I/O server                      \n\
+                         |   ({} fetches, {} copyouts,       \n\
+                         |    {} device ops, peak {} in flight,\n\
+                         |    waits: demand {} copyout {}    \n\
+                         |           prefetch {} scrub {})   \n\
                          |        Footprint                  \n\
                          |           |                       \n\
                          |   tertiary device(s)              \n",
         cache.capacity(),
         cache.stats().hits,
         cache.stats().misses,
+        reqq,
+        s.reqq_hwm,
+        s.queued_requests,
+        s.coalesced_fetches,
+        devq,
+        s.devq_hwm,
         s.demand_fetches,
         s.copyouts,
+        tio.io_ops(),
+        tio.io_peak_in_flight(),
+        s.wait_demand,
+        s.wait_copyout,
+        s.wait_prefetch,
+        s.wait_scrub,
     )
 }
 

@@ -23,6 +23,6 @@ pub mod time;
 pub use clock::Clock;
 pub use resource::Resource;
 pub use rng::DetRng;
-pub use sched::{Actor, Scheduler, Step};
+pub use sched::{Actor, ActorId, Scheduler, Step, Waker};
 pub use stats::{PhaseTimer, Summary};
 pub use time::SimTime;

@@ -8,6 +8,9 @@
 //! the actor with the smallest local time, which makes the interleaving —
 //! and therefore device contention — deterministic.
 
+use std::cell::RefCell;
+use std::rc::Rc;
+
 use crate::time::SimTime;
 
 /// The result of stepping an [`Actor`].
@@ -15,8 +18,45 @@ use crate::time::SimTime;
 pub enum Step {
     /// The actor has more work; resume it no earlier than the given time.
     Yield(SimTime),
+    /// The actor is waiting on an event: it will not be stepped again
+    /// until some other actor (or the embedding code) wakes it through a
+    /// [`Waker`]. A wake delivered while the actor is running is latched,
+    /// so a `Park` that races a wake resumes immediately (no lost
+    /// wakeups).
+    Park,
     /// The actor has finished; it will not be stepped again.
     Done,
+}
+
+/// A stable handle to a spawned actor, used as a wake target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(usize);
+
+/// A cloneable wake handle onto a [`Scheduler`].
+///
+/// Completion events are the one thing a purely time-ordered scheduler
+/// cannot express: an actor that drains a queue must not busy-poll for
+/// work, and the actor that *fills* the queue knows exactly when work
+/// arrived. `Waker::wake(id, at)` makes a parked actor runnable at
+/// virtual time `at`. Waking an actor that is not parked latches the
+/// wake: its next `Step::Park` converts into `Yield(at)`.
+///
+/// Waking a parked actor at a time *earlier* than where it parked is
+/// allowed and rewinds its local clock: a parked server was idle, and an
+/// out-of-order request (enqueued by a caller whose virtual clock lags
+/// the server's last completion) finds it idle *at the caller's time*.
+/// Physical serialization still holds because the device models book
+/// their own busy horizons.
+#[derive(Clone)]
+pub struct Waker {
+    inbox: Rc<RefCell<Vec<(ActorId, SimTime)>>>,
+}
+
+impl Waker {
+    /// Requests that actor `id` be woken at virtual time `at`.
+    pub fn wake(&self, id: ActorId, at: SimTime) {
+        self.inbox.borrow_mut().push((id, at));
+    }
 }
 
 /// A cooperatively scheduled activity over a shared world `W`.
@@ -40,6 +80,10 @@ struct Slot<W> {
     actor: Box<dyn Actor<W>>,
     local: SimTime,
     done: bool,
+    parked: bool,
+    /// A wake that arrived while the actor was runnable (or running):
+    /// consumed by the next `Step::Park` so the wakeup is never lost.
+    wake_pending: Option<SimTime>,
 }
 
 /// Runs a set of [`Actor`]s to completion in virtual-time order.
@@ -67,6 +111,8 @@ struct Slot<W> {
 /// ```
 pub struct Scheduler<W> {
     slots: Vec<Slot<W>>,
+    /// Wakes posted through [`Waker`] handles, drained each iteration.
+    inbox: Rc<RefCell<Vec<(ActorId, SimTime)>>>,
     /// Safety valve against actors that never advance time.
     max_steps: u64,
 }
@@ -82,7 +128,16 @@ impl<W> Scheduler<W> {
     pub fn new() -> Self {
         Self {
             slots: Vec::new(),
+            inbox: Rc::new(RefCell::new(Vec::new())),
             max_steps: 500_000_000,
+        }
+    }
+
+    /// A wake handle for this scheduler's actors. Cloneable; actors (or
+    /// shared state they hold) keep one to signal each other.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            inbox: self.inbox.clone(),
         }
     }
 
@@ -92,13 +147,24 @@ impl<W> Scheduler<W> {
         self
     }
 
-    /// Adds an actor that first runs at time `at`.
-    pub fn spawn_at<A: Actor<W> + 'static>(&mut self, at: SimTime, actor: A) {
+    /// Adds an actor that first runs at time `at`. The returned
+    /// [`ActorId`] is the actor's wake target.
+    pub fn spawn_at<A: Actor<W> + 'static>(&mut self, at: SimTime, actor: A) -> ActorId {
         self.slots.push(Slot {
             actor: Box::new(actor),
             local: at,
             done: false,
+            parked: false,
+            wake_pending: None,
         });
+        ActorId(self.slots.len() - 1)
+    }
+
+    /// Adds an actor in the parked state: it runs only once woken.
+    pub fn spawn_parked<A: Actor<W> + 'static>(&mut self, actor: A) -> ActorId {
+        let id = self.spawn_at(0, actor);
+        self.slots[id.0].parked = true;
+        id
     }
 
     /// Returns how many actors have not yet finished.
@@ -106,8 +172,39 @@ impl<W> Scheduler<W> {
         self.slots.iter().filter(|s| !s.done).count()
     }
 
-    /// Runs until every actor is done. Returns the final virtual time
-    /// (the largest local time reached by any actor).
+    /// Returns how many actors are parked awaiting a wake.
+    pub fn parked_actors(&self) -> usize {
+        self.slots.iter().filter(|s| !s.done && s.parked).count()
+    }
+
+    /// Applies queued wakes to their target slots.
+    fn drain_wakes(&mut self) {
+        let wakes: Vec<(ActorId, SimTime)> = self.inbox.borrow_mut().drain(..).collect();
+        for (id, at) in wakes {
+            let Some(slot) = self.slots.get_mut(id.0) else {
+                continue;
+            };
+            if slot.done {
+                continue;
+            }
+            if slot.parked {
+                slot.parked = false;
+                // A parked actor was idle; it resumes at the waker's
+                // time even if that rewinds its local clock (devices
+                // enforce their own busy horizons).
+                slot.local = at;
+            } else {
+                slot.wake_pending = Some(match slot.wake_pending {
+                    Some(t) => t.min(at),
+                    None => at,
+                });
+            }
+        }
+    }
+
+    /// Runs until every actor is done *or parked* (quiescence). Returns
+    /// the final virtual time (the largest local time reached by any
+    /// runnable actor).
     ///
     /// # Panics
     ///
@@ -117,8 +214,9 @@ impl<W> Scheduler<W> {
         self.run_until(world, SimTime::MAX)
     }
 
-    /// Runs until all actors are done or the next runnable actor's local
-    /// time exceeds `horizon`. Returns the furthest local time reached.
+    /// Runs until all actors are done or parked, or the next runnable
+    /// actor's local time exceeds `horizon`. Returns the furthest local
+    /// time reached.
     ///
     /// # Panics
     ///
@@ -127,11 +225,12 @@ impl<W> Scheduler<W> {
         let mut steps: u64 = 0;
         let mut furthest: SimTime = 0;
         loop {
+            self.drain_wakes();
             let next = self
                 .slots
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| !s.done)
+                .filter(|(_, s)| !s.done && !s.parked)
                 .min_by_key(|(_, s)| s.local)
                 .map(|(i, s)| (i, s.local));
             let Some((idx, now)) = next else {
@@ -152,6 +251,12 @@ impl<W> Scheduler<W> {
             let slot = &mut self.slots[idx];
             match slot.actor.step(world, now) {
                 Step::Yield(t) => slot.local = t.max(now),
+                Step::Park => match slot.wake_pending.take() {
+                    // A wake raced the park: stay runnable. The wake time
+                    // may legitimately precede `now` (see [`Waker`]).
+                    Some(t) => slot.local = t,
+                    None => slot.parked = true,
+                },
                 Step::Done => {
                     slot.done = true;
                     furthest = furthest.max(slot.local);
@@ -245,5 +350,90 @@ mod tests {
         let t = s.run(&mut ());
         assert_eq!(t, 100_000);
         assert_eq!(s.live_actors(), 0);
+    }
+
+    /// Parks forever; records each time it is stepped.
+    struct Server;
+    impl Actor<Vec<SimTime>> for Server {
+        fn step(&mut self, log: &mut Vec<SimTime>, now: SimTime) -> Step {
+            log.push(now);
+            Step::Park
+        }
+    }
+
+    #[test]
+    fn parked_actor_runs_only_when_woken() {
+        let mut s = Scheduler::new();
+        let server = s.spawn_parked(Server);
+        let mut log = Vec::new();
+        // Quiescence with nothing runnable returns immediately.
+        s.run(&mut log);
+        assert!(log.is_empty());
+        assert_eq!(s.parked_actors(), 1);
+
+        s.waker().wake(server, 42);
+        s.run(&mut log);
+        assert_eq!(log, vec![42]);
+        assert_eq!(s.parked_actors(), 1);
+
+        // A wake earlier than the previous run rewinds the idle server.
+        s.waker().wake(server, 7);
+        s.run(&mut log);
+        assert_eq!(log, vec![42, 7]);
+    }
+
+    /// Wakes `target` at `now + 1` on its first step, then finishes.
+    struct Poker {
+        target: ActorId,
+        waker: Waker,
+    }
+    impl Actor<Vec<SimTime>> for Poker {
+        fn step(&mut self, _log: &mut Vec<SimTime>, now: SimTime) -> Step {
+            self.waker.wake(self.target, now + 1);
+            Step::Done
+        }
+    }
+
+    #[test]
+    fn wake_from_another_actor_is_delivered() {
+        let mut s = Scheduler::new();
+        let server = s.spawn_parked(Server);
+        let waker = s.waker();
+        s.spawn_at(10, Poker {
+            target: server,
+            waker,
+        });
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![11]);
+    }
+
+    /// Parks after its first step; a wake posted *before* it parks must
+    /// not be lost.
+    struct RacyParker {
+        stepped: u32,
+    }
+    impl Actor<Vec<SimTime>> for RacyParker {
+        fn step(&mut self, log: &mut Vec<SimTime>, now: SimTime) -> Step {
+            log.push(now);
+            self.stepped += 1;
+            if self.stepped >= 2 {
+                Step::Done
+            } else {
+                Step::Park
+            }
+        }
+    }
+
+    #[test]
+    fn wake_before_park_is_latched() {
+        let mut s = Scheduler::new();
+        let id = s.spawn_at(5, RacyParker { stepped: 0 });
+        // Wake posted while the actor is still runnable: its upcoming
+        // Park must convert into an immediate resume at t=9.
+        s.waker().wake(id, 9);
+        let mut log = Vec::new();
+        s.run(&mut log);
+        assert_eq!(log, vec![5, 9]);
     }
 }

@@ -27,6 +27,7 @@ pub mod fault;
 pub mod profile;
 pub mod stripe;
 pub mod tape;
+pub mod track;
 
 pub use backing::SparseStore;
 pub use blockdev::{BlockDev, IoSlot};
@@ -38,6 +39,7 @@ pub use fault::{FaultConfig, FaultPlan, FaultyDev, Injected, MediaFault, SwapFau
 pub use profile::{DiskProfile, TapeProfile};
 pub use stripe::{Concat, Stripe};
 pub use tape::TapeDrive;
+pub use track::IoTracker;
 
 /// The filesystem block size used throughout the reproduction (§6.2:
 /// HighLight's pointers address 4-kilobyte units).
