@@ -18,6 +18,12 @@ cargo test --workspace -q
 echo "==> crash torture (tests/crash_torture.rs + tests/crash_props.rs)"
 cargo test -q --test crash_torture --test crash_props --test recovery_edges
 
+# Trace suites: invariant replay of the queue-engine scenarios and the
+# Table 4 pipeline, the pinned golden trace, and the random-workload ×
+# random-fault-plan property pass (DESIGN.md §6d).
+echo "==> trace suites (trace_invariants + golden_trace + trace_props)"
+cargo test -q --test trace_invariants --test golden_trace --test trace_props
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -29,13 +35,28 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 # must stay negligible (<5%) and every contention throughput must fall
 # below its no-contention counterpart; any "false" fails the gate.
 echo "==> Table 4/6 smoke (queuing negligible; contention < no-contention)"
+t4=""
 for bench in table4 table6; do
-  out=$(cargo bench -q -p hl-bench --bench "$bench" 2>&1)
+  out=$(cargo bench -q -p hl-bench --bench "$bench" -- --trace 2>&1)
+  [ "$bench" = table4 ] && t4=$out
   echo "$out" | grep -A 4 "Shape checks"
   if echo "$out" | grep -A 4 "Shape checks" | grep -q "false"; then
     echo "FAIL: $bench shape check regressed"
     exit 1
   fi
 done
+
+# Tracecheck gate over the Table 4 bench run: the bench replays its
+# event trace through the invariant engine and prints the finding
+# count; anything but zero fails the gate (DESIGN.md §6d).
+echo "==> tracecheck over the Table 4 bench output"
+echo "$t4" | grep -E -A 14 "Tracecheck:|Trace summary:" || {
+  echo "FAIL: table4 printed no Tracecheck line"
+  exit 1
+}
+if ! echo "$t4" | grep -q "Tracecheck: 0 findings"; then
+  echo "FAIL: table4 trace has invariant findings"
+  exit 1
+fi
 
 echo "CI OK"

@@ -51,6 +51,24 @@ fn main() {
         &rows,
     );
     println!("\n{}", result.phases.report());
+    // The invariant gate: ci greps this line and fails on any nonzero
+    // count, so a Table 4 run that violates the trace contract (open
+    // spans, illegal cache transitions, residency drift, device
+    // over-admission) cannot pass silently.
+    println!(
+        "Tracecheck: {} findings (trace digest {:016x})",
+        result.trace_findings.len(),
+        result.trace_digest,
+    );
+    for f in &result.trace_findings {
+        println!("  {f}");
+    }
+    if std::env::args().any(|a| a == "--trace") {
+        println!("Trace summary:");
+        for (kind, n) in &result.trace_summary {
+            println!("  {kind:<12} {n}");
+        }
+    }
     println!(
         "Shape checks: Footprint write dominates ({}), queuing negligible ({}).",
         pcts.get(FOOTPRINT_WRITE).copied().unwrap_or(0.0)

@@ -73,6 +73,14 @@ pub struct PipelineResult {
     /// Footprint write / I/O-server read / queuing accounting (Table 4),
     /// straight from the engine.
     pub phases: PhaseTimer,
+    /// FNV digest of the engine's event trace (same-seed runs hash
+    /// equal), printed beside the transcript digest.
+    pub trace_digest: u64,
+    /// Tracecheck findings over the finished run (must be empty).
+    pub trace_findings: Vec<hl_trace::Finding>,
+    /// Per-kind event counts from the recorder, for `--trace` bench
+    /// summaries.
+    pub trace_summary: Vec<(&'static str, u64)>,
 }
 
 impl PipelineResult {
@@ -279,6 +287,9 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         total_end: completions.last().copied().unwrap_or(0),
         completions,
         phases: tio.phases(),
+        trace_digest: tio.trace_digest(),
+        trace_findings: tio.trace_findings(),
+        trace_summary: tio.tracer().summary(),
     }
 }
 
@@ -317,6 +328,14 @@ mod tests {
         assert!(r.migrator_done > 0);
         assert!(r.total_end >= r.migrator_done);
         assert!(r.completions.windows(2).all(|w| w[0] <= w[1]));
+        assert!(
+            r.trace_findings.is_empty(),
+            "tracecheck: {:?}",
+            r.trace_findings
+        );
+        // Same seedless config, same virtual history: the trace digest
+        // is reproducible.
+        assert_eq!(r.trace_digest, small_pipeline(true).trace_digest);
     }
 
     #[test]

@@ -405,18 +405,59 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
         plan.clone(),
     ));
     let mut oracle = Oracle::default();
-    // The tertiary engine's decision transcript, digested into every
-    // summary line: the determinism tests then also prove the service
-    // process dispatched identically on every replay of a seed.
+    // The tertiary engine's decision transcript and event-trace digest,
+    // both stamped into every summary line: the determinism tests then
+    // also prove the service process dispatched identically — and
+    // emitted an identical event history — on every replay of a seed.
     let mut tio_digest = 0u64;
+    let mut tr_digest = 0u64;
     let end = match HighLight::mount_with_report(
         crash_disk,
         Rc::new(r.jukebox.clone()),
         r.cfg.clone(),
     ) {
         Ok((mut hl, _)) => {
+            // The injected tear lands in the same event stream as the
+            // engine's own spans, so the crash is visible in the trace.
+            plan.set_tracer(hl.tio().tracer());
             let end = run_ops(&mut hl, &plan, &r.clock, ops, &mut oracle);
             tio_digest = hl.tio().transcript_digest();
+            tr_digest = hl.tio().trace_digest();
+            let findings = match end {
+                // A completed pass must satisfy the full quiesced
+                // contract: every span closed, residency reconciled,
+                // device overlap bounded.
+                PassEnd::Completed => hl.tio().trace_findings(),
+                // A crashed pass is checked mid-flight: the dead device
+                // may strand an op whose span never closes, but every
+                // other invariant still has to hold.
+                PassEnd::Crashed(_) => {
+                    let st = hl.tio().stats();
+                    hl_trace::tracecheck(
+                        &hl.tio().tracer(),
+                        &hl_trace::Expectations {
+                            wait: Some([
+                                st.wait_demand,
+                                st.wait_eject,
+                                st.wait_copyout,
+                                st.wait_prefetch,
+                                st.wait_scrub,
+                            ]),
+                            max_dev_overlap: Some(hl.tio().io_peak_in_flight()),
+                            require_all_closed: false,
+                        },
+                    )
+                }
+            };
+            assert!(
+                findings.is_empty(),
+                "crash point {k}: tracecheck findings:\n{}",
+                findings
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
             end
         }
         Err(e) => {
@@ -432,7 +473,7 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
                 plan.torn().is_none(),
                 "crash point {k}: device tore a write but the scenario completed"
             );
-            format!("k={k:04} nocrash tio={tio_digest:016x}")
+            format!("k={k:04} nocrash tio={tio_digest:016x} tr={tr_digest:016x}")
         }
         PassEnd::Crashed(op) => {
             let t = plan.torn().expect("crashed plan records its torn write");
@@ -441,7 +482,7 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
             // failing crash point is diagnosable from the panic output.
             eprintln!("crash point {k}: {note} (during op {op})");
             let line = check_recovery(&r, &oracle, k, op, &note);
-            format!("{line} tio={tio_digest:016x}")
+            format!("{line} tio={tio_digest:016x} tr={tr_digest:016x}")
         }
     }
 }

@@ -573,7 +573,7 @@ impl HighLight {
             .map(|l| l.tert_seg);
         let Some(seed) = last else { return Ok(()) };
         let targets = prefetch_targets(&self.prefetch, &self.map, &self.hints, seed);
-        let mut queued = false;
+        let mut queued = 0usize;
         for seg in targets {
             if self.cache.borrow().peek(seg).is_some() {
                 continue;
@@ -593,9 +593,10 @@ impl HighLight {
             // queued first, so the service process orders the batch.
             let now = self.now();
             let _ = self.tio.enqueue_prefetch(now, seg);
-            queued = true;
+            queued += 1;
         }
-        if queued {
+        if queued > 0 {
+            crate::prefetch::trace_batch(&self.tio.tracer(), self.now(), seed, queued);
             self.tio.pump();
         }
         Ok(())

@@ -85,8 +85,15 @@ impl<W> Actor<W> for IoActor {
         // arrived while the server was busy.
         let queued = start.saturating_sub(op.enqueued_at.max(self.free_since));
         self.inner.phases.borrow_mut().add(phase::QUEUING, queued);
-        self.inner
-            .record_wait(op.class, start.saturating_sub(op.enqueued_at));
+        // Queue residency (enqueue to device start) goes to the trace;
+        // `SvcStats`' wait counters are derived from it.
+        self.inner.tracer.queuing(
+            start,
+            op.span,
+            crate::service::tclass(op.class),
+            op.enqueued_at.min(start),
+            start,
+        );
         let end = self.inner.exec(&op, start);
         self.free_since = end;
         if op.class == ReqClass::CopyOut {

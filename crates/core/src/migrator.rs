@@ -505,6 +505,10 @@ impl Migrator {
             return Ok(MigrateStats::default());
         }
         let deficit_bytes = (self.high_water_segs.saturating_sub(clean)) as u64 * (1 << 20);
+        hl.tio().tracer().mark(
+            hl.clock().now(),
+            &format!("migrate pass deficit {deficit_bytes}"),
+        );
         let stats = self.migrate_bytes(hl, deficit_bytes)?;
         // Vacated segments become clean up to the high-water mark.
         hl.lfs().clean_until(self.high_water_segs)?;

@@ -171,6 +171,8 @@ pub(crate) struct Request {
     pub enqueued_at: SimTime,
     /// Earliest enqueue time of a *demand* observer (stall accounting).
     pub demand_enq: Option<SimTime>,
+    /// Trace span opened at enqueue, closed at ticket completion.
+    pub span: u64,
     /// Completion cell.
     pub ticket: Ticket,
 }
@@ -195,6 +197,8 @@ pub(crate) struct DevOp {
     pub ready_at: SimTime,
     /// Earliest demand observer (stall accounting).
     pub demand_enq: Option<SimTime>,
+    /// Trace span inherited from the originating request.
+    pub span: u64,
     /// Completion cell.
     pub ticket: Ticket,
 }
@@ -217,7 +221,9 @@ pub(crate) struct EngineQueues {
     pub devq_cap: usize,
     /// In-flight fetch per tertiary segment: later fetchers of the same
     /// segment join this ticket instead of queuing a duplicate read.
-    pending_fetch: HashMap<SegNo, (u64, Ticket)>,
+    /// Carries `(seq, span, ticket)` so joins can reference the parent
+    /// op's trace span.
+    pending_fetch: HashMap<SegNo, (u64, u64, Ticket)>,
     /// Deterministic event log (capped).
     transcript: Vec<String>,
     transcript_dropped: u64,
@@ -269,7 +275,8 @@ impl EngineQueues {
         self.next_seq += 1;
         req.seq = seq;
         if let (Some(seg), Some(_)) = (req.seg, req.mode) {
-            self.pending_fetch.insert(seg, (seq, req.ticket.clone()));
+            self.pending_fetch
+                .insert(seg, (seq, req.span, req.ticket.clone()));
         }
         self.reqq.insert((req.class as u8, seq), req);
         seq
@@ -278,7 +285,13 @@ impl EngineQueues {
     /// The in-flight fetch ticket for `seg`, if one exists anywhere in
     /// the pipeline (queued, dispatched, or being served).
     pub fn pending_fetch(&self, seg: SegNo) -> Option<Ticket> {
-        self.pending_fetch.get(&seg).map(|(_, t)| t.clone())
+        self.pending_fetch.get(&seg).map(|(_, _, t)| t.clone())
+    }
+
+    /// The trace span of the in-flight fetch of `seg`, if any (the live
+    /// parent op a coalescing join references).
+    pub fn pending_fetch_span(&self, seg: SegNo) -> Option<u64> {
+        self.pending_fetch.get(&seg).map(|&(_, span, _)| span)
     }
 
     /// Joins a demand observer onto a pending fetch: if the request is
@@ -287,7 +300,7 @@ impl EngineQueues {
     /// device op is upgraded in place. A fetch already being served
     /// keeps its mode — the observers still share its completion.
     pub fn upgrade_fetch(&mut self, seg: SegNo, demand_at: SimTime) {
-        let Some(seq) = self.pending_fetch.get(&seg).map(|&(s, _)| s) else {
+        let Some(seq) = self.pending_fetch.get(&seg).map(|&(s, _, _)| s) else {
             return;
         };
         if let Some(mut req) = self.reqq.remove(&(ReqClass::Prefetch as u8, seq)) {
@@ -351,6 +364,7 @@ mod tests {
             },
             enqueued_at: at,
             demand_enq: (class == ReqClass::Demand).then_some(at),
+            span: 0,
             ticket: Ticket::new(),
         }
     }

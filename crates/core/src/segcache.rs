@@ -101,6 +101,22 @@ pub struct SegCache {
     policy: EjectPolicy,
     rng: DetRng,
     stats: CacheStats,
+    /// Optional trace recorder: every line-state transition is emitted
+    /// so the tracecheck state machine can replay it.
+    tracer: Option<hl_trace::Tracer>,
+    /// Latest simulated time any timed call has mentioned; anchors the
+    /// untimed mutators (`set_state`, `eject`, `rekey`) in the trace.
+    now_hint: SimTime,
+}
+
+/// Maps a [`LineState`] onto the trace's line-tag alphabet.
+fn tag(state: LineState) -> hl_trace::LineTag {
+    match state {
+        LineState::Clean => hl_trace::LineTag::Clean,
+        LineState::Filling => hl_trace::LineTag::Filling,
+        LineState::Staging => hl_trace::LineTag::Staging,
+        LineState::DirtyWait => hl_trace::LineTag::DirtyWait,
+    }
 }
 
 impl SegCache {
@@ -117,6 +133,24 @@ impl SegCache {
             policy,
             rng: DetRng::new(seed),
             stats: CacheStats::default(),
+            tracer: None,
+            now_hint: 0,
+        }
+    }
+
+    /// Attaches a trace recorder: every line-state transition emits a
+    /// `line` event, and re-keys emit `rekey` events.
+    pub fn set_tracer(&mut self, tracer: hl_trace::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    fn note_time(&mut self, at: SimTime) {
+        self.now_hint = self.now_hint.max(at);
+    }
+
+    fn trace_line(&self, at: SimTime, seg: SegNo, from: hl_trace::LineTag, to: hl_trace::LineTag) {
+        if let Some(t) = &self.tracer {
+            t.cache_state(at, seg as u64, from, to);
         }
     }
 
@@ -158,6 +192,12 @@ impl SegCache {
             self.pool.push(disk_seg);
         }
         self.free.retain(|&s| s != disk_seg);
+        self.note_time(fetched_at);
+        let from = match self.dir.get(&tert_seg) {
+            Some(line) => tag(line.state),
+            None => hl_trace::LineTag::Empty,
+        };
+        self.trace_line(fetched_at, tert_seg, from, hl_trace::LineTag::Clean);
         self.dir.insert(
             tert_seg,
             CacheLine {
@@ -195,6 +235,7 @@ impl SegCache {
     /// Directory lookup, recording a hit/miss and refreshing recency.
     /// Touches count per access episode, not per block translation.
     pub fn lookup(&mut self, tert_seg: SegNo, now: SimTime) -> Option<CacheLine> {
+        self.note_time(now);
         match self.dir.get_mut(&tert_seg) {
             Some(line) => {
                 if now >= line.last_used + EPISODE_GAP {
@@ -227,14 +268,17 @@ impl SegCache {
         now: SimTime,
     ) -> Option<(SegNo, Option<SegNo>)> {
         debug_assert!(!self.dir.contains_key(&tert_seg), "already cached");
+        self.note_time(now);
         let (disk_seg, ejected) = if let Some(d) = self.free.pop() {
             (d, None)
         } else {
             let victim = self.pick_victim()?;
             let line = self.dir.remove(&victim).expect("victim listed");
             self.stats.ejections += 1;
+            self.trace_line(now, victim, tag(line.state), hl_trace::LineTag::Empty);
             (line.disk_seg, Some(victim))
         };
+        self.trace_line(now, tert_seg, hl_trace::LineTag::Empty, tag(state));
         self.dir.insert(
             tert_seg,
             CacheLine {
@@ -294,6 +338,12 @@ impl SegCache {
         let line = self.dir.remove(&tert_seg)?;
         self.free.push(line.disk_seg);
         self.stats.ejections += 1;
+        self.trace_line(
+            self.now_hint,
+            tert_seg,
+            tag(line.state),
+            hl_trace::LineTag::Empty,
+        );
         Some(line)
     }
 
@@ -301,8 +351,16 @@ impl SegCache {
     /// migrator seals it, `DirtyWait` → `Clean` once the I/O server has
     /// copied it out).
     pub fn set_state(&mut self, tert_seg: SegNo, state: LineState) {
-        if let Some(line) = self.dir.get_mut(&tert_seg) {
-            line.state = state;
+        let transition = match self.dir.get_mut(&tert_seg) {
+            Some(line) if line.state != state => {
+                let from = line.state;
+                line.state = state;
+                Some(from)
+            }
+            _ => None,
+        };
+        if let Some(from) = transition {
+            self.trace_line(self.now_hint, tert_seg, tag(from), tag(state));
         }
     }
 
@@ -310,6 +368,7 @@ impl SegCache {
     /// episode starts here, not at fetch issue, so the fill duration
     /// never counts as a "repeated access".
     pub fn set_ready_at(&mut self, tert_seg: SegNo, ready_at: SimTime) {
+        self.note_time(ready_at);
         if let Some(line) = self.dir.get_mut(&tert_seg) {
             line.ready_at = ready_at;
             line.last_used = line.last_used.max(ready_at);
@@ -322,6 +381,9 @@ impl SegCache {
         if let Some(mut line) = self.dir.remove(&old_tert) {
             line.tert_seg = new_tert;
             self.dir.insert(new_tert, line);
+            if let Some(t) = &self.tracer {
+                t.cache_rekey(self.now_hint, old_tert as u64, new_tert as u64);
+            }
         }
     }
 

@@ -176,6 +176,24 @@ pub(crate) struct TioInner {
     /// Latest virtual time any enqueuer has mentioned (anchors requests
     /// that carry no time of their own, like ejections).
     pub(crate) watermark: Cell<SimTime>,
+    /// The engine's structured event recorder. Every request opens a
+    /// span at enqueue and closes it at ticket completion; queue depths,
+    /// residency, cache-line transitions, and device intervals all flow
+    /// through it, and [`SvcStats`]'s wait counters and queue high-water
+    /// marks are *derived from* it rather than tracked in parallel.
+    pub(crate) tracer: hl_trace::Tracer,
+}
+
+/// Maps an engine [`ReqClass`] onto the trace's class alphabet (the two
+/// enums deliberately share order and labels).
+pub(crate) fn tclass(class: ReqClass) -> hl_trace::Class {
+    match class {
+        ReqClass::Demand => hl_trace::Class::Demand,
+        ReqClass::Eject => hl_trace::Class::Eject,
+        ReqClass::CopyOut => hl_trace::Class::CopyOut,
+        ReqClass::Prefetch => hl_trace::Class::Prefetch,
+        ReqClass::Scrub => hl_trace::Class::Scrub,
+    }
 }
 
 impl TioInner {
@@ -216,18 +234,6 @@ impl TioInner {
         }
     }
 
-    /// Adds `wait` to the per-class queue-residency counter.
-    pub(crate) fn record_wait(&self, class: ReqClass, wait: SimTime) {
-        let mut st = self.stats.borrow_mut();
-        match class {
-            ReqClass::Demand => st.wait_demand += wait,
-            ReqClass::Eject => st.wait_eject += wait,
-            ReqClass::CopyOut => st.wait_copyout += wait,
-            ReqClass::Prefetch => st.wait_prefetch += wait,
-            ReqClass::Scrub => st.wait_scrub += wait,
-        }
-    }
-
     /// The service process fields one request at `now`: ejections finish
     /// inline; everything else gets a cache line selected and enters the
     /// device queue with a `ready_at` one dispatch hop in the future.
@@ -236,10 +242,17 @@ impl TioInner {
             ReqClass::Eject => {
                 let seg = req.seg.expect("eject targets a segment");
                 let ok = self.do_eject(seg);
-                self.record_wait(ReqClass::Eject, now.saturating_sub(req.enqueued_at));
+                self.tracer.queuing(
+                    now,
+                    req.span,
+                    hl_trace::Class::Eject,
+                    req.enqueued_at.min(now),
+                    now,
+                );
                 self.queues
                     .borrow_mut()
                     .log(format!("svc eject seg {seg} -> {ok} t{now}"));
+                self.tracer.close_span(now, req.span, ok);
                 req.ticket.complete(Outcome::Eject(ok));
             }
             ReqClass::Scrub => {
@@ -251,6 +264,7 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     demand_enq: None,
+                    span: req.span,
                     ticket: req.ticket,
                 });
             }
@@ -261,6 +275,7 @@ impl TioInner {
                     if line.state != LineState::Filling {
                         // Became resident between enqueue and dispatch.
                         self.queues.borrow_mut().retire_fetch(seg);
+                        self.tracer.close_span(now, req.span, true);
                         req.ticket.complete(Outcome::Fetch(Ok((
                             line.disk_seg,
                             now.max(line.ready_at),
@@ -282,6 +297,7 @@ impl TioInner {
                 let Some((disk_seg, _ejected)) = allocated else {
                     // Every line is pinned: the fetch cannot be served.
                     self.queues.borrow_mut().retire_fetch(seg);
+                    self.tracer.close_span(now, req.span, false);
                     req.ticket
                         .complete(Outcome::Fetch(Err(HlError::Dev(DevError::Offline))));
                     return;
@@ -294,6 +310,7 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     demand_enq: req.demand_enq,
+                    span: req.span,
                     ticket: req.ticket,
                 });
             }
@@ -307,6 +324,7 @@ impl TioInner {
                     _ => None,
                 };
                 let Some(line) = sealed else {
+                    self.tracer.close_span(now, req.span, false);
                     req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
                     // A refused copy-out still resolves waiters parked
                     // on its completion.
@@ -314,6 +332,7 @@ impl TioInner {
                     return;
                 };
                 let Some((vol, _slot)) = self.map.vol_slot(seg) else {
+                    self.tracer.close_span(now, req.span, false);
                     req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
                     self.wake_copyout_waiters(now);
                     return;
@@ -321,6 +340,7 @@ impl TioInner {
                 if self.recovery.borrow().is_quarantined(vol) {
                     // The segment's primary volume is gone; the migrator
                     // must relocate the staged data.
+                    self.tracer.close_span(now, req.span, false);
                     req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
                     self.wake_copyout_waiters(now);
                     return;
@@ -333,6 +353,7 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     demand_enq: None,
+                    span: req.span,
                     ticket: req.ticket,
                 });
             }
@@ -351,9 +372,8 @@ impl TioInner {
             q.devq.push_back(op);
             q.devq.len()
         };
-        let mut st = self.stats.borrow_mut();
-        st.devq_hwm = st.devq_hwm.max(depth as u32);
-        drop(st);
+        self.tracer
+            .queue_depth(ready, hl_trace::QueueId::Device, depth as u32);
         self.wake_io(ready);
     }
 
@@ -369,6 +389,7 @@ impl TioInner {
                 self.queues
                     .borrow_mut()
                     .log(format!("io! scrub done t{end}"));
+                self.tracer.close_span(end, op.span, true);
                 op.ticket.complete(Outcome::Scrub(Box::new(report)));
                 end
             }
@@ -377,12 +398,13 @@ impl TioInner {
         }
     }
 
-    fn fail_fetch(&self, op: &DevOp, seg: SegNo, err: HlError) {
+    fn fail_fetch(&self, op: &DevOp, seg: SegNo, at: SimTime, err: HlError) {
         self.cache.borrow_mut().eject(seg);
         let mut q = self.queues.borrow_mut();
         q.retire_fetch(seg);
         q.log(format!("io! fetch seg {seg} failed"));
         drop(q);
+        self.tracer.close_span(at, op.span, false);
         op.ticket.complete(Outcome::Fetch(Err(err)));
     }
 
@@ -394,7 +416,7 @@ impl TioInner {
         let r = match self.fetch_segment(start, seg, &mut buf) {
             Ok((r, _home)) => r,
             Err(e) => {
-                self.fail_fetch(op, seg, e);
+                self.fail_fetch(op, seg, start, e);
                 return start;
             }
         };
@@ -410,7 +432,7 @@ impl TioInner {
                 let w = match self.disks.write(r.end, base, &buf) {
                     Ok(w) => w,
                     Err(e) => {
-                        self.fail_fetch(op, seg, e.into());
+                        self.fail_fetch(op, seg, r.end, e.into());
                         return r.end;
                     }
                 };
@@ -429,7 +451,7 @@ impl TioInner {
                 // line's readiness, and the I/O server is free as soon
                 // as the tertiary read completes.
                 if let Err(e) = self.disks.poke(base, &buf) {
-                    self.fail_fetch(op, seg, e.into());
+                    self.fail_fetch(op, seg, r.end, e.into());
                     return r.end;
                 }
                 let fill = hl_sim::time::transfer_time(self.seg_bytes as u64, 993.0);
@@ -461,6 +483,7 @@ impl TioInner {
         stats.demand_fetches += 1;
         stats.fetch_time += ready - op.enqueued_at;
         drop(stats);
+        self.tracer.close_span(ready, op.span, true);
         op.ticket.complete(Outcome::Fetch(Ok((disk_seg, ready))));
         end
     }
@@ -469,12 +492,14 @@ impl TioInner {
         let seg = op.seg.expect("copy-out targets a segment");
         let disk_seg = op.disk_seg.expect("copy-out got a line at dispatch");
         let Some((vol, slot)) = self.map.vol_slot(seg) else {
+            self.tracer.close_span(start, op.span, false);
             op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
             return start;
         };
         // Re-check at service time: the volume may have been quarantined
         // while the op sat in the device queue.
         if self.recovery.borrow().is_quarantined(vol) {
+            self.tracer.close_span(start, op.span, false);
             op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
             return start;
         }
@@ -485,6 +510,7 @@ impl TioInner {
         let r = match self.disks.read(start, base, &mut buf) {
             Ok(r) => r,
             Err(e) => {
+                self.tracer.close_span(start, op.span, false);
                 op.ticket.complete(Outcome::CopyOut(Err(e)));
                 return start;
             }
@@ -517,6 +543,7 @@ impl TioInner {
                 stats.copyouts += 1;
                 stats.copyout_time += end - op.enqueued_at;
                 drop(stats);
+                self.tracer.close_span(end, op.span, true);
                 op.ticket.complete(Outcome::CopyOut(Ok(end)));
                 end
             }
@@ -531,11 +558,13 @@ impl TioInner {
                 self.queues
                     .borrow_mut()
                     .log(format!("io! copyout seg {seg} hit end-of-medium"));
+                self.tracer.close_span(r.end, op.span, false);
                 op.ticket
                     .complete(Outcome::CopyOut(Err(DevError::EndOfMedium { written })));
                 r.end
             }
             Err(e) => {
+                self.tracer.close_span(r.end, op.span, false);
                 op.ticket.complete(Outcome::CopyOut(Err(e)));
                 r.end
             }
@@ -916,6 +945,10 @@ impl TertiaryIo {
             map.blocks_per_seg * hl_vdev::BLOCK_SIZE as u32,
             "jukebox and filesystem disagree on segment size"
         );
+        let tracer = hl_trace::Tracer::new();
+        cache.borrow_mut().set_tracer(tracer.clone());
+        let mut iotrack = IoTracker::new();
+        iotrack.set_tracer(tracer.clone());
         let inner = Rc::new(TioInner {
             map,
             jukebox,
@@ -934,10 +967,12 @@ impl TertiaryIo {
             queues: RefCell::new(EngineQueues::new()),
             handles: RefCell::new(None),
             copyout_waiters: RefCell::new(Vec::new()),
-            iotrack: RefCell::new(IoTracker::new()),
+            iotrack: RefCell::new(iotrack),
             watermark: Cell::new(0),
+            tracer: tracer.clone(),
         });
         let mut engine = Scheduler::new();
+        engine.set_tracer(tracer);
         let handles = spawn_engine(&inner, &mut engine);
         *inner.handles.borrow_mut() = Some(handles);
         TertiaryIo {
@@ -1017,12 +1052,56 @@ impl TertiaryIo {
         *self.inner.phases.borrow_mut() = PhaseTimer::new();
         *self.inner.stats.borrow_mut() = SvcStats::default();
         self.inner.fault_log.borrow_mut().clear();
-        *self.inner.iotrack.borrow_mut() = IoTracker::new();
+        let mut iotrack = IoTracker::new();
+        iotrack.set_tracer(self.inner.tracer.clone());
+        *self.inner.iotrack.borrow_mut() = iotrack;
+        self.inner.tracer.reset();
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot. The queue-residency (`wait_*`) counters and the
+    /// queue high-water marks are derived from the trace recorder — the
+    /// engine does not track them separately.
     pub fn stats(&self) -> SvcStats {
-        *self.inner.stats.borrow()
+        let mut st = *self.inner.stats.borrow();
+        let t = &self.inner.tracer;
+        st.wait_demand = t.wait(hl_trace::Class::Demand);
+        st.wait_eject = t.wait(hl_trace::Class::Eject);
+        st.wait_copyout = t.wait(hl_trace::Class::CopyOut);
+        st.wait_prefetch = t.wait(hl_trace::Class::Prefetch);
+        st.wait_scrub = t.wait(hl_trace::Class::Scrub);
+        st.reqq_hwm = t.queue_hwm(hl_trace::QueueId::Request);
+        st.devq_hwm = t.queue_hwm(hl_trace::QueueId::Device);
+        st
+    }
+
+    /// A handle onto the engine's structured event recorder.
+    pub fn tracer(&self) -> hl_trace::Tracer {
+        self.inner.tracer.clone()
+    }
+
+    /// FNV-1a digest of the full trace history (events beyond the ring
+    /// capacity still contribute): byte-identical runs hash equal.
+    pub fn trace_digest(&self) -> u64 {
+        self.inner.tracer.digest()
+    }
+
+    /// Runs the tracecheck invariant engine over the recorded trace,
+    /// with expectations for a quiesced engine: all spans closed, queue
+    /// residency reconciled against [`SvcStats`], and device-op overlap
+    /// bounded by the I/O tracker's admitted peak.
+    pub fn trace_findings(&self) -> Vec<hl_trace::Finding> {
+        let st = self.stats();
+        let expect = hl_trace::Expectations::quiesced(
+            [
+                st.wait_demand,
+                st.wait_eject,
+                st.wait_copyout,
+                st.wait_prefetch,
+                st.wait_scrub,
+            ],
+            self.io_peak_in_flight(),
+        );
+        hl_trace::tracecheck(&self.inner.tracer, &expect)
     }
 
     // -----------------------------------------------------------------
@@ -1063,6 +1142,12 @@ impl TertiaryIo {
                 self.inner.queues.borrow_mut().upgrade_fetch(tert_seg, at);
                 self.inner.notify(StallEvent::HoldOn { seg: tert_seg, at });
             }
+            let parent = self.inner.queues.borrow().pending_fetch_span(tert_seg);
+            if let Some(parent) = parent {
+                self.inner
+                    .tracer
+                    .join(at, parent, tclass(class_of(mode)));
+            }
             self.inner
                 .queues
                 .borrow_mut()
@@ -1087,6 +1172,7 @@ impl TertiaryIo {
             mode: Some(mode),
             enqueued_at: at,
             demand_enq: (mode == FetchMode::Demand).then_some(at),
+            span: 0,
             ticket: ticket.clone(),
         });
         ticket
@@ -1106,6 +1192,7 @@ impl TertiaryIo {
             mode: None,
             enqueued_at: at,
             demand_enq: None,
+            span: 0,
             ticket: ticket.clone(),
         });
         ticket
@@ -1128,6 +1215,7 @@ impl TertiaryIo {
             mode: None,
             enqueued_at: at,
             demand_enq: None,
+            span: 0,
             ticket: ticket.clone(),
         });
         Some(ticket)
@@ -1144,6 +1232,7 @@ impl TertiaryIo {
             mode: None,
             enqueued_at: at,
             demand_enq: None,
+            span: 0,
             ticket: ticket.clone(),
         });
         ticket
@@ -1160,13 +1249,18 @@ impl TertiaryIo {
             mode: None,
             enqueued_at: at,
             demand_enq: None,
+            span: 0,
             ticket: ticket.clone(),
         });
         ticket
     }
 
-    fn push_request(&self, req: Request) {
+    fn push_request(&self, mut req: Request) {
         let at = req.enqueued_at;
+        req.span = self
+            .inner
+            .tracer
+            .open_span(at, tclass(req.class), req.seg.map(|s| s as u64));
         let depth = {
             let mut q = self.inner.queues.borrow_mut();
             let label = req.class.label();
@@ -1175,10 +1269,10 @@ impl TertiaryIo {
             q.log(format!("+req {seq} {label} seg {seg} t{at}"));
             q.reqq_len()
         };
-        let mut st = self.inner.stats.borrow_mut();
-        st.queued_requests += 1;
-        st.reqq_hwm = st.reqq_hwm.max(depth as u32);
-        drop(st);
+        self.inner
+            .tracer
+            .queue_depth(at, hl_trace::QueueId::Request, depth as u32);
+        self.inner.stats.borrow_mut().queued_requests += 1;
         self.inner.wake_svc(at);
     }
 
@@ -1195,6 +1289,7 @@ impl TertiaryIo {
     /// the synchronous façades must not be used: completion is observed
     /// by running the external scheduler and polling tickets.
     pub fn attach_engine<W: 'static>(&self, sched: &mut Scheduler<W>) -> (ActorId, ActorId) {
+        sched.set_tracer(self.inner.tracer.clone());
         let handles = spawn_engine(&self.inner, sched);
         let ids = (handles.svc, handles.io);
         *self.inner.handles.borrow_mut() = Some(handles);

@@ -115,6 +115,8 @@ pub struct Scheduler<W> {
     inbox: Rc<RefCell<Vec<(ActorId, SimTime)>>>,
     /// Safety valve against actors that never advance time.
     max_steps: u64,
+    /// Optional trace recorder: park/wake activity is emitted into it.
+    tracer: Option<hl_trace::Tracer>,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -130,7 +132,14 @@ impl<W> Scheduler<W> {
             slots: Vec::new(),
             inbox: Rc::new(RefCell::new(Vec::new())),
             max_steps: 500_000_000,
+            tracer: None,
         }
+    }
+
+    /// Attaches a trace recorder: every actual park (an actor going
+    /// idle) and every wake of a parked actor is emitted into it.
+    pub fn set_tracer(&mut self, tracer: hl_trace::Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// A wake handle for this scheduler's actors. Cloneable; actors (or
@@ -193,6 +202,9 @@ impl<W> Scheduler<W> {
                 // time even if that rewinds its local clock (devices
                 // enforce their own busy horizons).
                 slot.local = at;
+                if let Some(t) = &self.tracer {
+                    t.wake(at, slot.actor.name());
+                }
             } else {
                 slot.wake_pending = Some(match slot.wake_pending {
                     Some(t) => t.min(at),
@@ -255,7 +267,12 @@ impl<W> Scheduler<W> {
                     // A wake raced the park: stay runnable. The wake time
                     // may legitimately precede `now` (see [`Waker`]).
                     Some(t) => slot.local = t,
-                    None => slot.parked = true,
+                    None => {
+                        slot.parked = true;
+                        if let Some(t) = &self.tracer {
+                            t.park(now, slot.actor.name());
+                        }
+                    }
                 },
                 Step::Done => {
                     slot.done = true;

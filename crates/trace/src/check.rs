@@ -1,0 +1,429 @@
+//! Trace invariant checking.
+//!
+//! [`tracecheck`] replays a recorded trace and verifies the lifecycle
+//! rules the engine is supposed to obey. It is a *separate* reading of
+//! the history: the recorder's derived accumulators are maintained
+//! eagerly at emission time, while the checker recomputes everything
+//! from the retained events, so a disagreement between the two (or with
+//! the engine's own counters, passed in as [`Expectations`]) is a bug.
+//!
+//! Checked invariants:
+//!
+//! 1. **Span lifecycle** — every span opens exactly once and closes
+//!    exactly once; closes reference a known open span (or one carried
+//!    over a reset as baseline); optionally, no span is left open at the
+//!    end of the trace.
+//! 2. **Cache-line state machine** — transitions follow the legal
+//!    machine (empty → filling/staging/clean/dirtywait; filling → clean;
+//!    staging → dirtywait/clean; dirtywait → clean; any → empty on
+//!    discard), and each event's `from` matches the tracked state.
+//! 3. **Queue residency reconciliation** — the per-class sums of
+//!    `Queuing` durations equal the engine's reported wait counters.
+//! 4. **Coalescing** — every `Join` references a span that is open at
+//!    the time of the join (a live parent op).
+//! 5. **Device concurrency** — the peak overlap recomputed from `DevIo`
+//!    intervals does not exceed the admitted concurrency.
+
+use std::collections::BTreeMap;
+
+use crate::{Class, Event, EventKind, LineTag, TraceTime, Tracer};
+
+/// External truths the trace is checked against.
+#[derive(Clone, Debug, Default)]
+pub struct Expectations {
+    /// Per-class queue-residency sums the engine reports (`SvcStats`
+    /// wait counters), in [`Class::ALL`] order. `None` skips the
+    /// reconciliation.
+    pub wait: Option<[TraceTime; 5]>,
+    /// The device tracker's admitted peak concurrency. `None` skips the
+    /// overlap check.
+    pub max_dev_overlap: Option<usize>,
+    /// Require every span to be closed by the end of the trace (set
+    /// `false` when checking mid-flight).
+    pub require_all_closed: bool,
+}
+
+impl Expectations {
+    /// Expectations for a quiesced engine: all spans closed, residency
+    /// reconciled against `wait`, overlap bounded by `peak`.
+    pub fn quiesced(wait: [TraceTime; 5], peak: usize) -> Expectations {
+        Expectations {
+            wait: Some(wait),
+            max_dev_overlap: Some(peak),
+            require_all_closed: true,
+        }
+    }
+}
+
+/// One invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Sequence number of the offending event (`u64::MAX` for
+    /// whole-trace findings).
+    pub seq: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.seq == u64::MAX {
+            write!(f, "[trace] {}", self.message)
+        } else {
+            write!(f, "[#{:06}] {}", self.seq, self.message)
+        }
+    }
+}
+
+fn whole(message: String) -> Finding {
+    Finding {
+        seq: u64::MAX,
+        message,
+    }
+}
+
+fn legal_line_transition(from: LineTag, to: LineTag) -> bool {
+    use LineTag::*;
+    if to == Empty {
+        // Any line may be discarded/ejected.
+        return from != Empty;
+    }
+    matches!(
+        (from, to),
+        (Empty, Filling)
+            | (Empty, Staging)
+            | (Empty, Clean)
+            | (Empty, DirtyWait)
+            | (Filling, Clean)
+            | (Staging, DirtyWait)
+            | (Staging, Clean)
+            | (DirtyWait, Clean)
+    )
+}
+
+/// Peak overlap of the given intervals, with the same endpoint semantics
+/// as the engine's `IoTracker`: an op starting exactly when another ends
+/// counts as overlapping (back-to-back handoff), and zero-duration ops
+/// occupy their instant.
+fn peak_overlap(intervals: &[(TraceTime, TraceTime)]) -> usize {
+    if intervals.is_empty() {
+        return 0;
+    }
+    let mut starts: Vec<TraceTime> = intervals.iter().map(|&(s, _)| s).collect();
+    let mut ends: Vec<TraceTime> = intervals
+        .iter()
+        .map(|&(_, e)| e.saturating_add(1))
+        .collect();
+    starts.sort_unstable();
+    ends.sort_unstable();
+    let (mut si, mut ei) = (0usize, 0usize);
+    let (mut cur, mut peak) = (0usize, 0usize);
+    while si < starts.len() {
+        if starts[si] < ends[ei] {
+            cur += 1;
+            peak = peak.max(cur);
+            si += 1;
+        } else {
+            cur -= 1;
+            ei += 1;
+        }
+    }
+    peak
+}
+
+/// Replays the tracer's retained events and returns every invariant
+/// violation found (empty = the trace is consistent).
+///
+/// A truncated trace (events emitted past the retention bound) cannot be
+/// verified and is itself reported as a finding; size test scenarios
+/// under the bound, or raise it with [`Tracer::with_capacity`].
+pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if tracer.dropped() > 0 {
+        findings.push(whole(format!(
+            "trace truncated: {} events dropped past the retention bound",
+            tracer.dropped()
+        )));
+        return findings;
+    }
+    let events = tracer.events();
+
+    // Span bookkeeping, seeded with the spans carried over a reset.
+    let mut open: BTreeMap<u64, Class> = tracer.baseline_open().into_iter().collect();
+    let mut ever_opened: BTreeMap<u64, u64> = BTreeMap::new(); // span -> open count
+    let mut ever_closed: BTreeMap<u64, u64> = BTreeMap::new();
+    // Cache-line state per tertiary segment (absent = empty).
+    let mut lines: BTreeMap<u64, LineTag> = BTreeMap::new();
+    // Queue residency recomputed per class.
+    let mut wait = [0u64; 5];
+    // Device intervals.
+    let mut devops: Vec<(TraceTime, TraceTime)> = Vec::new();
+
+    for ev in &events {
+        check_event(ev, &mut findings, &mut open, &mut ever_opened, &mut ever_closed, &mut lines, &mut wait, &mut devops);
+    }
+
+    if expect.require_all_closed && !open.is_empty() {
+        let ids: Vec<String> = open
+            .iter()
+            .map(|(s, c)| format!("{s} ({})", c.label()))
+            .collect();
+        findings.push(whole(format!(
+            "{} span(s) left open at end of trace: {}",
+            open.len(),
+            ids.join(", ")
+        )));
+    }
+    if let Some(expected) = expect.wait {
+        for class in Class::ALL {
+            let got = wait[class as usize];
+            let want = expected[class as usize];
+            if got != want {
+                findings.push(whole(format!(
+                    "queue residency mismatch for {}: trace sums {got}, engine reports {want}",
+                    class.label()
+                )));
+            }
+        }
+    }
+    if let Some(max) = expect.max_dev_overlap {
+        let peak = peak_overlap(&devops);
+        if peak > max {
+            findings.push(whole(format!(
+                "device ops overlap beyond admitted concurrency: trace peak {peak} > admitted {max}"
+            )));
+        }
+    }
+    findings
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_event(
+    ev: &Event,
+    findings: &mut Vec<Finding>,
+    open: &mut BTreeMap<u64, Class>,
+    ever_opened: &mut BTreeMap<u64, u64>,
+    ever_closed: &mut BTreeMap<u64, u64>,
+    lines: &mut BTreeMap<u64, LineTag>,
+    wait: &mut [u64; 5],
+    devops: &mut Vec<(TraceTime, TraceTime)>,
+) {
+    let mut fail = |msg: String| {
+        findings.push(Finding {
+            seq: ev.seq,
+            message: msg,
+        })
+    };
+    match &ev.kind {
+        EventKind::SpanOpen { span, class, .. } => {
+            let n = ever_opened.entry(*span).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                fail(format!("span {span} opened {n} times"));
+            }
+            if open.insert(*span, *class).is_some() {
+                fail(format!("span {span} re-opened while still open"));
+            }
+        }
+        EventKind::SpanClose { span, .. } => {
+            let n = ever_closed.entry(*span).or_insert(0);
+            *n += 1;
+            if *n > 1 {
+                fail(format!("span {span} closed {n} times"));
+            } else if open.remove(span).is_none() {
+                fail(format!("span {span} closed but was never open"));
+            }
+        }
+        EventKind::Join { span, .. } => {
+            if !open.contains_key(span) {
+                fail(format!(
+                    "coalesced fetch joined span {span}, which is not a live parent op"
+                ));
+            }
+        }
+        EventKind::Queuing {
+            span,
+            class,
+            from,
+            to,
+        } => {
+            if to < from {
+                fail(format!("queuing interval runs backwards: {from}..{to}"));
+            }
+            wait[*class as usize] += to.saturating_sub(*from);
+            // The op's span must still be in flight while it queues.
+            if !open.contains_key(span) {
+                fail(format!("queuing recorded for span {span}, which is not open"));
+            }
+        }
+        EventKind::QueueDepth { .. } => {}
+        EventKind::CacheState { seg, from, to } => {
+            let tracked = lines.get(seg).copied().unwrap_or(LineTag::Empty);
+            if tracked != *from {
+                fail(format!(
+                    "cache line {seg}: transition claims from={} but tracked state is {}",
+                    from.label(),
+                    tracked.label()
+                ));
+            }
+            if !legal_line_transition(*from, *to) {
+                fail(format!(
+                    "cache line {seg}: illegal transition {}>{}",
+                    from.label(),
+                    to.label()
+                ));
+            }
+            if *to == LineTag::Empty {
+                lines.remove(seg);
+            } else {
+                lines.insert(*seg, *to);
+            }
+        }
+        EventKind::CacheRekey { old, new } => match lines.remove(old) {
+            Some(state) => {
+                lines.insert(*new, state);
+            }
+            None => fail(format!("rekey of {old}>{new}: no line tracked for {old}")),
+        },
+        EventKind::DevIo { start, end } => {
+            if end < start {
+                fail(format!("device op runs backwards: {start}..{end}"));
+            }
+            devops.push((*start, *end));
+        }
+        EventKind::Park { .. }
+        | EventKind::Wake { .. }
+        | EventKind::Fault { .. }
+        | EventKind::Mark { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueueId;
+
+    #[test]
+    fn clean_lifecycle_has_no_findings() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Demand, Some(4));
+        t.queue_depth(0, QueueId::Request, 1);
+        t.queuing(2_000, s, Class::Demand, 0, 2_000);
+        t.cache_state(2_000, 4, LineTag::Empty, LineTag::Filling);
+        t.dev_io(2_000, 10_000);
+        t.cache_state(10_000, 4, LineTag::Filling, LineTag::Clean);
+        t.close_span(10_000, s, true);
+        let f = tracecheck(&t, &Expectations::quiesced([2_000, 0, 0, 0, 0], 1));
+        assert!(f.is_empty(), "unexpected findings: {f:?}");
+    }
+
+    #[test]
+    fn unclosed_span_is_a_finding() {
+        let t = Tracer::new();
+        t.open_span(0, Class::Scrub, None);
+        let f = tracecheck(
+            &t,
+            &Expectations {
+                require_all_closed: true,
+                ..Expectations::default()
+            },
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("left open"));
+        // Mid-flight checks tolerate it.
+        assert!(tracecheck(&t, &Expectations::default()).is_empty());
+    }
+
+    #[test]
+    fn double_close_and_unknown_close_are_findings() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Demand, Some(1));
+        t.close_span(1, s, true);
+        t.close_span(2, s, true);
+        t.close_span(3, 999, false);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 2);
+        assert!(f[0].message.contains("closed 2 times"));
+        assert!(f[1].message.contains("never open"));
+    }
+
+    #[test]
+    fn illegal_cache_transition_is_a_finding() {
+        let t = Tracer::new();
+        t.cache_state(0, 7, LineTag::Empty, LineTag::Clean);
+        t.cache_state(1, 7, LineTag::Clean, LineTag::Filling);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("illegal transition clean>filling"));
+    }
+
+    #[test]
+    fn mistracked_from_state_is_a_finding() {
+        let t = Tracer::new();
+        t.cache_state(0, 7, LineTag::Empty, LineTag::Staging);
+        // Claims the line is filling, but it is staging.
+        t.cache_state(1, 7, LineTag::Filling, LineTag::Clean);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("tracked state is staging"));
+    }
+
+    #[test]
+    fn rekey_moves_the_tracked_state() {
+        let t = Tracer::new();
+        t.cache_state(0, 7, LineTag::Empty, LineTag::DirtyWait);
+        t.cache_rekey(1, 7, 9);
+        t.cache_state(2, 9, LineTag::DirtyWait, LineTag::Clean);
+        assert!(tracecheck(&t, &Expectations::default()).is_empty());
+    }
+
+    #[test]
+    fn join_requires_a_live_parent() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Prefetch, Some(2));
+        t.join(1, s, Class::Demand);
+        t.close_span(2, s, true);
+        t.join(3, s, Class::Demand);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("not a live parent"));
+    }
+
+    #[test]
+    fn residency_mismatch_is_a_finding() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::CopyOut, Some(3));
+        t.queuing(5, s, Class::CopyOut, 0, 5);
+        t.close_span(5, s, true);
+        let f = tracecheck(&t, &Expectations::quiesced([0, 0, 4, 0, 0], 8));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("trace sums 5, engine reports 4"));
+    }
+
+    #[test]
+    fn excess_device_overlap_is_a_finding() {
+        let t = Tracer::new();
+        t.dev_io(0, 100);
+        t.dev_io(50, 150);
+        t.dev_io(60, 160);
+        let f = tracecheck(
+            &t,
+            &Expectations {
+                max_dev_overlap: Some(2),
+                ..Expectations::default()
+            },
+        );
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("trace peak 3 > admitted 2"));
+    }
+
+    #[test]
+    fn truncated_trace_is_reported_not_verified() {
+        let t = Tracer::with_capacity(1);
+        t.mark(0, "a");
+        t.mark(1, "b");
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("truncated"));
+    }
+}

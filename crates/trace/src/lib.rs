@@ -1,0 +1,785 @@
+//! Deterministic event tracing for the HighLight reproduction.
+//!
+//! The paper's evaluation (§7, Tables 2–6) is about *where time goes* in
+//! the storage hierarchy — device transfers, robot exchanges, queue
+//! residency. This crate records that history as a structured stream of
+//! events keyed on simulated time: request *spans* (open at enqueue,
+//! close at completion), per-op queue residency, cache-line state
+//! transitions, device-op intervals, scheduler park/wake activity, and
+//! injected faults. The stream is deterministic: with a fixed seed the
+//! same run emits byte-identical renders and equal FNV digests, so the
+//! whole observed history — not just dispatch order — replays exactly.
+//!
+//! The crate sits at the bottom of the workspace graph (it depends on
+//! nothing), so the simulator, the device models, and the engine can all
+//! emit into one [`Tracer`] without dependency cycles. Timestamps are raw
+//! `u64` microseconds (the same unit as `hl_sim::time::SimTime`).
+//!
+//! [`check::tracecheck`] replays a recorded trace and verifies lifecycle
+//! invariants: spans open and close exactly once, cache lines follow the
+//! legal state machine, queue residency sums reconcile with the engine's
+//! counters, coalesced fetches join a live parent span, and device ops
+//! never overlap beyond the admitted concurrency.
+
+pub mod check;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+pub use check::{tracecheck, Expectations, Finding};
+
+/// Simulated time in microseconds (mirrors `hl_sim::time::SimTime`
+/// without depending on it).
+pub type TraceTime = u64;
+
+/// Default bound on retained events. Beyond it the recorder keeps the
+/// head of the stream plus a drop counter — derived accumulators and the
+/// running digest still cover every emitted event.
+pub const DEFAULT_CAP: usize = 65_536;
+
+/// Request classes, in the engine's dispatch-priority order. Mirrors the
+/// engine's `ReqClass` so traces render the same labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// A reader is stalled on this fetch.
+    Demand = 0,
+    /// Unilateral ejection of a clean cache line.
+    Eject = 1,
+    /// Copy-out of a sealed staging segment.
+    CopyOut = 2,
+    /// Speculative fetch; nobody is waiting.
+    Prefetch = 3,
+    /// Background re-replication pass.
+    Scrub = 4,
+}
+
+impl Class {
+    /// Every class, in priority order.
+    pub const ALL: [Class; 5] = [
+        Class::Demand,
+        Class::Eject,
+        Class::CopyOut,
+        Class::Prefetch,
+        Class::Scrub,
+    ];
+
+    /// Short label used by renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Demand => "demand",
+            Class::Eject => "eject",
+            Class::CopyOut => "copyout",
+            Class::Prefetch => "prefetch",
+            Class::Scrub => "scrub",
+        }
+    }
+
+    fn idx(self) -> usize {
+        self as usize
+    }
+}
+
+/// Cache-line states as seen by the trace. `Empty` is the implicit state
+/// of any segment with no line; the others mirror the cache's
+/// `LineState`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineTag {
+    /// No line holds the segment.
+    Empty,
+    /// Claimed by an in-flight fetch; pinned until the fill lands.
+    Filling,
+    /// Being assembled by the migrator (dirty).
+    Staging,
+    /// Sealed, awaiting copy-out (dirty, pinned).
+    DirtyWait,
+    /// Read-only cached copy; discardable at any time.
+    Clean,
+}
+
+impl LineTag {
+    /// Short label used by renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            LineTag::Empty => "empty",
+            LineTag::Filling => "filling",
+            LineTag::Staging => "staging",
+            LineTag::DirtyWait => "dirtywait",
+            LineTag::Clean => "clean",
+        }
+    }
+}
+
+/// The engine's two bounded queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueId {
+    /// The priority request queue the service process drains.
+    Request,
+    /// The FIFO device queue the I/O server drains.
+    Device,
+}
+
+impl QueueId {
+    /// Short label used by renders.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueId::Request => "reqq",
+            QueueId::Device => "devq",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            QueueId::Request => 0,
+            QueueId::Device => 1,
+        }
+    }
+}
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A request entered the engine: its span opens.
+    SpanOpen {
+        /// Fresh span id.
+        span: u64,
+        /// Request class at enqueue.
+        class: Class,
+        /// Target tertiary segment (`None` for whole-device work).
+        seg: Option<u64>,
+    },
+    /// The request completed (its ticket resolved): the span closes.
+    SpanClose {
+        /// The span being closed.
+        span: u64,
+        /// Whether the outcome was a success.
+        ok: bool,
+    },
+    /// A coalesced fetch joined an in-flight parent span.
+    Join {
+        /// The live parent span.
+        span: u64,
+        /// The joiner's class.
+        class: Class,
+    },
+    /// Measured queue residency of one op: enqueue to device start.
+    Queuing {
+        /// The op's span.
+        span: u64,
+        /// The op's class when serviced.
+        class: Class,
+        /// Enqueue time.
+        from: TraceTime,
+        /// Device start time.
+        to: TraceTime,
+    },
+    /// A queue's depth after a push (the recorder keeps the high-water
+    /// mark).
+    QueueDepth {
+        /// Which queue.
+        queue: QueueId,
+        /// Depth after the push.
+        depth: u32,
+    },
+    /// A cache line changed state.
+    CacheState {
+        /// The tertiary segment keyed to the line.
+        seg: u64,
+        /// State before.
+        from: LineTag,
+        /// State after.
+        to: LineTag,
+    },
+    /// A staging line was re-keyed to a new tertiary segment
+    /// (end-of-medium relocation): the new segment inherits the old
+    /// one's state.
+    CacheRekey {
+        /// Old tertiary segment.
+        old: u64,
+        /// New tertiary segment.
+        new: u64,
+    },
+    /// A device operation interval the I/O server admitted.
+    DevIo {
+        /// Op start.
+        start: TraceTime,
+        /// Op end.
+        end: TraceTime,
+    },
+    /// A scheduler actor parked awaiting a wake.
+    Park {
+        /// The actor's name.
+        actor: String,
+    },
+    /// A parked actor was woken.
+    Wake {
+        /// The actor's name.
+        actor: String,
+    },
+    /// An injected fault or crash fired.
+    Fault {
+        /// Description of the injection.
+        label: String,
+    },
+    /// Free-form breadcrumb (migrator, prefetcher, cleaner, clock).
+    Mark {
+        /// The breadcrumb.
+        label: String,
+    },
+}
+
+/// One recorded event: a sequence number (emission order), the simulated
+/// time it describes, and its kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Emission order, starting at 0.
+    pub seq: u64,
+    /// Simulated time the event describes. Not necessarily monotone in
+    /// `seq`: wakes may rewind an idle actor's clock.
+    pub at: TraceTime,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Stable single-line text render. Byte-identical per seed; feeds the
+    /// running digest.
+    pub fn render(&self) -> String {
+        let body = match &self.kind {
+            EventKind::SpanOpen { span, class, seg } => match seg {
+                Some(s) => format!("s+ {span} {} seg {s}", class.label()),
+                None => format!("s+ {span} {} seg -", class.label()),
+            },
+            EventKind::SpanClose { span, ok } => {
+                format!("s- {span} {}", if *ok { "ok" } else { "err" })
+            }
+            EventKind::Join { span, class } => format!("join {span} {}", class.label()),
+            EventKind::Queuing {
+                span,
+                class,
+                from,
+                to,
+            } => format!("qres {span} {} {from}..{to}", class.label()),
+            EventKind::QueueDepth { queue, depth } => {
+                format!("qdep {} {depth}", queue.label())
+            }
+            EventKind::CacheState { seg, from, to } => {
+                format!("line {seg} {}>{}", from.label(), to.label())
+            }
+            EventKind::CacheRekey { old, new } => format!("rekey {old}>{new}"),
+            EventKind::DevIo { start, end } => format!("dev {start}..{end}"),
+            EventKind::Park { actor } => format!("park {actor}"),
+            EventKind::Wake { actor } => format!("wake {actor}"),
+            EventKind::Fault { label } => format!("fault {label}"),
+            EventKind::Mark { label } => format!("mark {label}"),
+        };
+        format!("#{:06} t{} {body}", self.seq, self.at)
+    }
+
+    /// Stable JSON object render (hand-rolled; labels are escaped).
+    pub fn render_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let body = match &self.kind {
+            EventKind::SpanOpen { span, class, seg } => format!(
+                "\"ev\":\"span_open\",\"span\":{span},\"class\":\"{}\",\"seg\":{}",
+                class.label(),
+                seg.map_or("null".to_string(), |s| s.to_string())
+            ),
+            EventKind::SpanClose { span, ok } => {
+                format!("\"ev\":\"span_close\",\"span\":{span},\"ok\":{ok}")
+            }
+            EventKind::Join { span, class } => format!(
+                "\"ev\":\"join\",\"span\":{span},\"class\":\"{}\"",
+                class.label()
+            ),
+            EventKind::Queuing {
+                span,
+                class,
+                from,
+                to,
+            } => format!(
+                "\"ev\":\"queuing\",\"span\":{span},\"class\":\"{}\",\"from\":{from},\"to\":{to}",
+                class.label()
+            ),
+            EventKind::QueueDepth { queue, depth } => format!(
+                "\"ev\":\"queue_depth\",\"queue\":\"{}\",\"depth\":{depth}",
+                queue.label()
+            ),
+            EventKind::CacheState { seg, from, to } => format!(
+                "\"ev\":\"cache_state\",\"seg\":{seg},\"from\":\"{}\",\"to\":\"{}\"",
+                from.label(),
+                to.label()
+            ),
+            EventKind::CacheRekey { old, new } => {
+                format!("\"ev\":\"cache_rekey\",\"old\":{old},\"new\":{new}")
+            }
+            EventKind::DevIo { start, end } => {
+                format!("\"ev\":\"dev_io\",\"start\":{start},\"end\":{end}")
+            }
+            EventKind::Park { actor } => format!("\"ev\":\"park\",\"actor\":\"{}\"", esc(actor)),
+            EventKind::Wake { actor } => format!("\"ev\":\"wake\",\"actor\":\"{}\"", esc(actor)),
+            EventKind::Fault { label } => format!("\"ev\":\"fault\",\"label\":\"{}\"", esc(label)),
+            EventKind::Mark { label } => format!("\"ev\":\"mark\",\"label\":\"{}\"", esc(label)),
+        };
+        format!("{{\"seq\":{},\"at\":{},{body}}}", self.seq, self.at)
+    }
+
+    /// Short kind tag (for `--trace` summaries).
+    pub fn kind_tag(&self) -> &'static str {
+        match &self.kind {
+            EventKind::SpanOpen { .. } => "span_open",
+            EventKind::SpanClose { .. } => "span_close",
+            EventKind::Join { .. } => "join",
+            EventKind::Queuing { .. } => "queuing",
+            EventKind::QueueDepth { .. } => "queue_depth",
+            EventKind::CacheState { .. } => "cache_state",
+            EventKind::CacheRekey { .. } => "cache_rekey",
+            EventKind::DevIo { .. } => "dev_io",
+            EventKind::Park { .. } => "park",
+            EventKind::Wake { .. } => "wake",
+            EventKind::Fault { .. } => "fault",
+            EventKind::Mark { .. } => "mark",
+        }
+    }
+}
+
+/// The recorder behind a [`Tracer`]: the bounded event buffer plus the
+/// derived accumulators that downstream counters are built from.
+struct Recorder {
+    /// Retained head of the event stream.
+    events: Vec<Event>,
+    /// Retention bound.
+    cap: usize,
+    /// Events emitted past the bound (still digested and accumulated).
+    dropped: u64,
+    next_seq: u64,
+    next_span: u64,
+    /// Running FNV-1a over every rendered line (`\n`-terminated), drops
+    /// included — the digest covers the full history, not just the
+    /// retained head.
+    digest: u64,
+    /// Per-class queue-residency sums (from [`EventKind::Queuing`]).
+    wait: [TraceTime; 5],
+    /// Per-queue depth high-water marks (from [`EventKind::QueueDepth`]).
+    hwm: [u32; 2],
+    /// Spans opened per class.
+    opened: [u64; 5],
+    /// Spans closed.
+    closed: u64,
+    /// Join events emitted.
+    joins: u64,
+    /// Currently open spans (deterministic order for snapshots).
+    open_spans: BTreeMap<u64, Class>,
+    /// Spans that were already open at the last [`Recorder::reset`]:
+    /// their closes are legal even though their opens were discarded.
+    baseline_open: Vec<(u64, Class)>,
+}
+
+impl Recorder {
+    fn new(cap: usize) -> Recorder {
+        Recorder {
+            events: Vec::new(),
+            cap,
+            dropped: 0,
+            next_seq: 0,
+            next_span: 0,
+            digest: FNV_OFFSET,
+            wait: [0; 5],
+            hwm: [0; 2],
+            opened: [0; 5],
+            closed: 0,
+            joins: 0,
+            open_spans: BTreeMap::new(),
+            baseline_open: Vec::new(),
+        }
+    }
+
+    fn emit(&mut self, at: TraceTime, kind: EventKind) {
+        let ev = Event {
+            seq: self.next_seq,
+            at,
+            kind,
+        };
+        self.next_seq += 1;
+        for b in ev.render().bytes() {
+            self.digest = fnv_mix(self.digest, b);
+        }
+        self.digest = fnv_mix(self.digest, b'\n');
+        if self.events.len() < self.cap {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+        self.digest = FNV_OFFSET;
+        self.wait = [0; 5];
+        self.hwm = [0; 2];
+        self.opened = [0; 5];
+        self.closed = 0;
+        self.joins = 0;
+        self.baseline_open = self.open_spans.iter().map(|(&s, &c)| (s, c)).collect();
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+fn fnv_mix(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+}
+
+/// A cloneable handle onto a shared [trace recorder](Tracer::new). Every
+/// layer of the stack (scheduler, devices, engine, cache) holds a clone
+/// and emits into the same bounded, digested event stream.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    rec: Rc<RefCell<Recorder>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let r = self.rec.borrow();
+        write!(
+            f,
+            "Tracer {{ events: {}, dropped: {} }}",
+            r.events.len(),
+            r.dropped
+        )
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new(DEFAULT_CAP)
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer with the [default retention bound](DEFAULT_CAP).
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// A fresh tracer retaining at most `cap` events (the digest and the
+    /// derived accumulators still cover everything emitted).
+    pub fn with_capacity(cap: usize) -> Tracer {
+        Tracer {
+            rec: Rc::new(RefCell::new(Recorder::new(cap))),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Emission
+    // ------------------------------------------------------------------
+
+    /// Opens a request span, returning its fresh id.
+    pub fn open_span(&self, at: TraceTime, class: Class, seg: Option<u64>) -> u64 {
+        let mut r = self.rec.borrow_mut();
+        let span = r.next_span;
+        r.next_span += 1;
+        r.opened[class.idx()] += 1;
+        r.open_spans.insert(span, class);
+        r.emit(at, EventKind::SpanOpen { span, class, seg });
+        span
+    }
+
+    /// Closes a span (the request's ticket resolved).
+    pub fn close_span(&self, at: TraceTime, span: u64, ok: bool) {
+        let mut r = self.rec.borrow_mut();
+        r.closed += 1;
+        r.open_spans.remove(&span);
+        r.emit(at, EventKind::SpanClose { span, ok });
+    }
+
+    /// Records a coalesced fetch joining the in-flight parent `span`.
+    pub fn join(&self, at: TraceTime, span: u64, class: Class) {
+        let mut r = self.rec.borrow_mut();
+        r.joins += 1;
+        r.emit(at, EventKind::Join { span, class });
+    }
+
+    /// Records one op's measured queue residency (`from` = enqueue,
+    /// `to` = device start) and accumulates it per class.
+    pub fn queuing(&self, at: TraceTime, span: u64, class: Class, from: TraceTime, to: TraceTime) {
+        let mut r = self.rec.borrow_mut();
+        r.wait[class.idx()] += to.saturating_sub(from);
+        r.emit(
+            at,
+            EventKind::Queuing {
+                span,
+                class,
+                from,
+                to,
+            },
+        );
+    }
+
+    /// Records a queue's depth after a push (maintains the HWM).
+    pub fn queue_depth(&self, at: TraceTime, queue: QueueId, depth: u32) {
+        let mut r = self.rec.borrow_mut();
+        r.hwm[queue.idx()] = r.hwm[queue.idx()].max(depth);
+        r.emit(at, EventKind::QueueDepth { queue, depth });
+    }
+
+    /// Records a cache-line state transition.
+    pub fn cache_state(&self, at: TraceTime, seg: u64, from: LineTag, to: LineTag) {
+        self.rec
+            .borrow_mut()
+            .emit(at, EventKind::CacheState { seg, from, to });
+    }
+
+    /// Records a staging-line re-key (end-of-medium relocation).
+    pub fn cache_rekey(&self, at: TraceTime, old: u64, new: u64) {
+        self.rec
+            .borrow_mut()
+            .emit(at, EventKind::CacheRekey { old, new });
+    }
+
+    /// Records an admitted device-op interval.
+    pub fn dev_io(&self, start: TraceTime, end: TraceTime) {
+        self.rec
+            .borrow_mut()
+            .emit(start, EventKind::DevIo { start, end });
+    }
+
+    /// Records an actor parking.
+    pub fn park(&self, at: TraceTime, actor: &str) {
+        self.rec.borrow_mut().emit(
+            at,
+            EventKind::Park {
+                actor: actor.to_string(),
+            },
+        );
+    }
+
+    /// Records a parked actor being woken.
+    pub fn wake(&self, at: TraceTime, actor: &str) {
+        self.rec.borrow_mut().emit(
+            at,
+            EventKind::Wake {
+                actor: actor.to_string(),
+            },
+        );
+    }
+
+    /// Records an injected fault or crash.
+    pub fn fault(&self, at: TraceTime, label: &str) {
+        self.rec.borrow_mut().emit(
+            at,
+            EventKind::Fault {
+                label: label.to_string(),
+            },
+        );
+    }
+
+    /// Records a free-form breadcrumb.
+    pub fn mark(&self, at: TraceTime, label: &str) {
+        self.rec.borrow_mut().emit(
+            at,
+            EventKind::Mark {
+                label: label.to_string(),
+            },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    /// Events emitted so far (retained + dropped).
+    pub fn len(&self) -> u64 {
+        self.rec.borrow().next_seq
+    }
+
+    /// `true` if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events emitted past the retention bound.
+    pub fn dropped(&self) -> u64 {
+        self.rec.borrow().dropped
+    }
+
+    /// A snapshot of the retained events.
+    pub fn events(&self) -> Vec<Event> {
+        self.rec.borrow().events.clone()
+    }
+
+    /// The running FNV-1a digest over every rendered line, XORed with the
+    /// drop count (the same construction as the engine transcript
+    /// digest). Byte-identical histories hash equal.
+    pub fn digest(&self) -> u64 {
+        let r = self.rec.borrow();
+        r.digest ^ r.dropped
+    }
+
+    /// Cumulative measured queue residency of `class`.
+    pub fn wait(&self, class: Class) -> TraceTime {
+        self.rec.borrow().wait[class.idx()]
+    }
+
+    /// Depth high-water mark of `queue`.
+    pub fn queue_hwm(&self, queue: QueueId) -> u32 {
+        self.rec.borrow().hwm[queue.idx()]
+    }
+
+    /// Spans opened with class `class`.
+    pub fn spans_opened(&self, class: Class) -> u64 {
+        self.rec.borrow().opened[class.idx()]
+    }
+
+    /// Spans closed.
+    pub fn spans_closed(&self) -> u64 {
+        self.rec.borrow().closed
+    }
+
+    /// Join events recorded.
+    pub fn joins(&self) -> u64 {
+        self.rec.borrow().joins
+    }
+
+    /// Currently open spans, in id order.
+    pub fn open_spans(&self) -> Vec<(u64, Class)> {
+        self.rec
+            .borrow()
+            .open_spans
+            .iter()
+            .map(|(&s, &c)| (s, c))
+            .collect()
+    }
+
+    /// Spans that were open at the last [`Self::reset`] (their closes
+    /// appear without matching opens).
+    pub fn baseline_open(&self) -> Vec<(u64, Class)> {
+        self.rec.borrow().baseline_open.clone()
+    }
+
+    /// Renders the retained events as text lines.
+    pub fn render_text(&self) -> Vec<String> {
+        self.rec.borrow().events.iter().map(Event::render).collect()
+    }
+
+    /// Renders the retained events as a JSON array.
+    pub fn render_json(&self) -> String {
+        let body: Vec<String> = self
+            .rec
+            .borrow()
+            .events
+            .iter()
+            .map(Event::render_json)
+            .collect();
+        format!("[{}]", body.join(","))
+    }
+
+    /// Per-kind event counts over the retained events (for `--trace`
+    /// summaries).
+    pub fn summary(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in self.rec.borrow().events.iter() {
+            *counts.entry(ev.kind_tag()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Clears the event buffer, the digest, and every derived accumulator
+    /// while remembering which spans are still in flight (their closes
+    /// stay legal). Span and sequence ids keep counting, so ids never
+    /// repeat across resets.
+    pub fn reset(&self) {
+        self.rec.borrow_mut().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_covers_drops() {
+        let run = || {
+            let t = Tracer::with_capacity(4);
+            for i in 0..10u64 {
+                t.mark(i, "tick");
+            }
+            (t.digest(), t.dropped(), t.len())
+        };
+        let (d1, dropped, len) = run();
+        let (d2, _, _) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(dropped, 6);
+        assert_eq!(len, 10);
+        // A different history hashes differently.
+        let t = Tracer::with_capacity(4);
+        for i in 0..10u64 {
+            t.mark(i, "tock");
+        }
+        assert_ne!(t.digest(), d1);
+    }
+
+    #[test]
+    fn span_accounting_tracks_opens_and_closes() {
+        let t = Tracer::new();
+        let a = t.open_span(0, Class::Demand, Some(7));
+        let b = t.open_span(1, Class::CopyOut, Some(8));
+        assert_ne!(a, b);
+        assert_eq!(t.open_spans().len(), 2);
+        t.close_span(5, a, true);
+        assert_eq!(t.open_spans(), vec![(b, Class::CopyOut)]);
+        assert_eq!(t.spans_opened(Class::Demand), 1);
+        assert_eq!(t.spans_closed(), 1);
+    }
+
+    #[test]
+    fn queuing_accumulates_per_class() {
+        let t = Tracer::new();
+        t.queuing(10, 0, Class::Demand, 2, 10);
+        t.queuing(20, 1, Class::Demand, 15, 20);
+        t.queuing(20, 2, Class::Scrub, 0, 3);
+        assert_eq!(t.wait(Class::Demand), 13);
+        assert_eq!(t.wait(Class::Scrub), 3);
+        assert_eq!(t.wait(Class::CopyOut), 0);
+    }
+
+    #[test]
+    fn queue_depth_keeps_the_hwm() {
+        let t = Tracer::new();
+        t.queue_depth(0, QueueId::Request, 3);
+        t.queue_depth(1, QueueId::Request, 1);
+        t.queue_depth(2, QueueId::Device, 2);
+        assert_eq!(t.queue_hwm(QueueId::Request), 3);
+        assert_eq!(t.queue_hwm(QueueId::Device), 2);
+    }
+
+    #[test]
+    fn reset_preserves_open_spans_as_baseline() {
+        let t = Tracer::new();
+        let a = t.open_span(0, Class::Prefetch, Some(1));
+        t.queue_depth(0, QueueId::Request, 5);
+        t.reset();
+        assert_eq!(t.len() - t.events().len() as u64, 2, "seq keeps counting");
+        assert_eq!(t.queue_hwm(QueueId::Request), 0);
+        assert_eq!(t.baseline_open(), vec![(a, Class::Prefetch)]);
+        // The stale span's close is still recorded cleanly.
+        t.close_span(9, a, true);
+        assert!(t.open_spans().is_empty());
+    }
+
+    #[test]
+    fn renders_are_stable() {
+        let t = Tracer::new();
+        t.open_span(3, Class::Demand, Some(42));
+        t.cache_state(4, 42, LineTag::Empty, LineTag::Filling);
+        let text = t.render_text();
+        assert_eq!(text[0], "#000000 t3 s+ 0 demand seg 42");
+        assert_eq!(text[1], "#000001 t4 line 42 empty>filling");
+        let json = t.render_json();
+        assert!(json.starts_with("[{\"seq\":0,"));
+        assert!(json.contains("\"ev\":\"cache_state\""));
+    }
+}

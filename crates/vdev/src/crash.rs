@@ -55,6 +55,8 @@ struct CrashInner {
     rng: DetRng,
     /// Set once the crash fires; all I/O fails until `power_cycle`.
     torn: Option<TornWrite>,
+    /// Optional trace recorder: the torn write leaves a `fault` event.
+    tracer: Option<hl_trace::Tracer>,
 }
 
 /// What a [`CrashPlan`] decides about one timed write.
@@ -88,6 +90,7 @@ impl CrashPlan {
                 writes_seen: 0,
                 rng: DetRng::new(seed ^ mix),
                 torn: None,
+                tracer: None,
             })),
         }
     }
@@ -101,6 +104,12 @@ impl CrashPlan {
     /// A plan armed to tear the `index`-th (0-based) timed write.
     pub fn at_write(seed: u64, index: u64) -> CrashPlan {
         CrashPlan::with(seed, Some(index))
+    }
+
+    /// Attaches a trace recorder: the torn write (if the plan fires)
+    /// emits a `fault` event at its injection time.
+    pub fn set_tracer(&self, tracer: hl_trace::Tracer) {
+        self.inner.borrow_mut().tracer = Some(tracer);
     }
 
     /// Timed writes observed so far.
@@ -143,6 +152,9 @@ impl CrashPlan {
                 len,
                 kept,
             });
+            if let Some(t) = &p.tracer {
+                t.fault(at, &format!("torn write b{block}+{kept}/{len}"));
+            }
             WriteFate::Tear(kept)
         } else {
             WriteFate::Pass

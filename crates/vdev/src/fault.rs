@@ -152,6 +152,17 @@ struct PlanInner {
     /// fire once; probabilistic kills don't re-fire on a dead volume).
     killed: Vec<u32>,
     log: Vec<Injected>,
+    /// Optional trace recorder: each injected fault leaves a `fault`
+    /// event so traces can be correlated with recovery activity.
+    tracer: Option<hl_trace::Tracer>,
+}
+
+impl PlanInner {
+    fn trace(&self, at: SimTime, label: &str) {
+        if let Some(t) = &self.tracer {
+            t.fault(at, label);
+        }
+    }
 }
 
 /// A shared, seeded fault schedule. Cloning shares the schedule.
@@ -171,8 +182,15 @@ impl FaultPlan {
                 scripted_kills: Vec::new(),
                 killed: Vec::new(),
                 log: Vec::new(),
+                tracer: None,
             })),
         }
+    }
+
+    /// Attaches a trace recorder: every injected fault also emits a
+    /// `fault` event into the trace at its injection time.
+    pub fn set_tracer(&self, tracer: hl_trace::Tracer) {
+        self.inner.borrow_mut().tracer = Some(tracer);
     }
 
     /// Scripts a permanent media failure: the first read of `vol` at or
@@ -204,6 +222,7 @@ impl FaultPlan {
             p.scripted_kills.remove(i);
             p.killed.push(vol);
             p.log.push(Injected::MediaFailure { at, vol });
+            p.trace(at, &format!("media failure v{vol}"));
             return Some(MediaFault::Permanent);
         }
         if p.killed.contains(&vol) {
@@ -213,10 +232,12 @@ impl FaultPlan {
         if p.cfg.media_failure_p > 0.0 && p.rng.chance(p.cfg.media_failure_p) {
             p.killed.push(vol);
             p.log.push(Injected::MediaFailure { at, vol });
+            p.trace(at, &format!("media failure v{vol}"));
             return Some(MediaFault::Permanent);
         }
         if p.cfg.transient_read_p > 0.0 && p.rng.chance(p.cfg.transient_read_p) {
             p.log.push(Injected::TransientRead { at, vol, slot });
+            p.trace(at, &format!("transient read v{vol} s{slot}"));
             return Some(MediaFault::Transient);
         }
         None
@@ -228,6 +249,7 @@ impl FaultPlan {
         let p = &mut *p;
         if p.cfg.early_eom_p > 0.0 && p.rng.chance(p.cfg.early_eom_p) {
             p.log.push(Injected::EarlyEom { at, vol, slot });
+            p.trace(at, &format!("early eom v{vol} s{slot}"));
             return Some(MediaFault::EarlyEom);
         }
         None
@@ -239,11 +261,13 @@ impl FaultPlan {
         let p = &mut *p;
         if p.cfg.swap_fail_p > 0.0 && p.rng.chance(p.cfg.swap_fail_p) {
             p.log.push(Injected::SwapFail { at, vol });
+            p.trace(at, &format!("swap fail v{vol}"));
             return Some(SwapFault::Failed);
         }
         if p.cfg.swap_jam_p > 0.0 && p.rng.chance(p.cfg.swap_jam_p) {
             let stuck = p.cfg.swap_stuck_time;
             p.log.push(Injected::SwapJam { at, vol, stuck });
+            p.trace(at, &format!("swap jam v{vol} +{stuck}"));
             return Some(SwapFault::Jam { stuck });
         }
         None
@@ -255,6 +279,7 @@ impl FaultPlan {
         let p = &mut *p;
         if p.cfg.transient_read_p > 0.0 && p.rng.chance(p.cfg.transient_read_p) {
             p.log.push(Injected::DiskReadError { at, block });
+            p.trace(at, &format!("disk read error b{block}"));
             return Some(DevError::ReadError { block });
         }
         None

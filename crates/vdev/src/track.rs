@@ -26,6 +26,9 @@ pub struct IoTracker {
     total_ops: u64,
     /// Sum of slot durations (device busy time, counting overlap twice).
     busy: SimTime,
+    /// Optional trace recorder: every admitted interval is emitted into
+    /// it, so the trace can recompute (and cross-check) the overlap peak.
+    tracer: Option<hl_trace::Tracer>,
 }
 
 impl IoTracker {
@@ -34,10 +37,18 @@ impl IoTracker {
         Self::default()
     }
 
+    /// Attaches a trace recorder; [`Self::admit`] emits each interval.
+    pub fn set_tracer(&mut self, tracer: hl_trace::Tracer) {
+        self.tracer = Some(tracer);
+    }
+
     /// Records a granted operation slot.
     pub fn admit(&mut self, slot: IoSlot) {
         self.busy += slot.duration();
         self.total_ops += 1;
+        if let Some(t) = &self.tracer {
+            t.dev_io(slot.start, slot.end);
+        }
         self.slots.push(slot);
     }
 

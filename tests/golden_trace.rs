@@ -1,0 +1,141 @@
+//! Golden-trace snapshot: a fixed scripted run — create, write,
+//! migrate, copy out, eject, demand-fetch back — must render a
+//! byte-identical text trace on every run, pinned here line for line.
+//! Any change to the engine's event emission (ordering, timing, or
+//! content) fails this test and forces a conscious decision, because
+//! downstream determinism claims (digest-stamped bench transcripts,
+//! crash-point reproduction by `k=` index) all rest on this stability.
+
+use std::rc::Rc;
+
+use highlight::{HighLight, HlConfig};
+use hl_footprint::{Jukebox, JukeboxConfig};
+use hl_sim::Clock;
+use hl_vdev::{BlockDev, Disk, DiskProfile};
+
+/// The scripted life: one 40 KB file, migrated and fetched back.
+fn scripted() -> (Vec<String>, u64, String) {
+    let clock = Clock::new();
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 16 * 256 + 5, None));
+    let jukebox = Jukebox::new(
+        JukeboxConfig {
+            volumes: 2,
+            segments_per_volume: 4,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cfg = HlConfig::paper(clock.clone(), 4);
+    HighLight::mkfs(
+        disk.clone() as Rc<dyn BlockDev>,
+        Rc::new(jukebox.clone()),
+        cfg.clone(),
+    )
+    .expect("mkfs");
+    let mut hl = HighLight::mount(
+        disk.clone() as Rc<dyn BlockDev>,
+        Rc::new(jukebox),
+        cfg,
+    )
+    .expect("mount");
+
+    let data: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+    let ino = hl.create("/doc").expect("create");
+    hl.write(ino, 0, &data).expect("write");
+    hl.sync().expect("sync");
+    hl.migrate_file("/doc", false, None).expect("migrate");
+    let mut tail = Default::default();
+    hl.seal_staging(&mut tail).expect("seal");
+    hl.drain_copyouts().expect("drain");
+    hl.eject_all();
+    hl.drop_caches();
+    let ino = hl.lookup("/doc").expect("lookup");
+    let mut back = vec![0u8; data.len()];
+    hl.read(ino, 0, &mut back).expect("read");
+    assert_eq!(back, data, "bytes diverged before the trace is judged");
+
+    let findings = hl.tio().trace_findings();
+    assert!(findings.is_empty(), "tracecheck: {findings:?}");
+    let tr = hl.tio().tracer();
+    (tr.render_text(), hl.tio().trace_digest(), tr.render_json())
+}
+
+#[test]
+fn scripted_run_replays_byte_identical_per_seed() {
+    let (a, da, ja) = scripted();
+    let (b, db, jb) = scripted();
+    assert_eq!(a, b, "two runs of the same script diverged");
+    assert_eq!(da, db);
+    assert_eq!(ja, jb, "JSON renders diverged");
+}
+
+/// The pinned rendering. Reading it top to bottom: the migrator fills
+/// a staging line and seals it (`empty>staging>dirtywait`), the sealed
+/// segment copies out (span 0: wake the service process, dispatch to
+/// the I/O server, disk gather read then Footprint write, line goes
+/// `dirtywait>clean`), the eject discards the line (span 1), and the
+/// read after `drop_caches` demand-fetches it back (span 2:
+/// `empty>filling`, media read, disk write, `filling>clean`).
+const GOLDEN: &str = "\
+#000000 t550466 line 16777211 empty>staging
+#000001 t550466 line 16777211 staging>dirtywait
+#000002 t648113 s+ 0 copyout seg 16777211
+#000003 t648113 qdep reqq 1
+#000004 t648113 wake service-process
+#000005 t650113 qdep devq 1
+#000006 t650113 wake io-server
+#000007 t650113 park service-process
+#000008 t650113 qres 0 copyout 648113..650113
+#000009 t650113 dev 650113..1387093
+#000010 t14887093 dev 14887093..19908701
+#000011 t550466 line 16777211 dirtywait>clean
+#000012 t19908701 s- 0 ok
+#000013 t650113 wake service-process
+#000014 t650113 park service-process
+#000015 t19908701 park io-server
+#000016 t648113 s+ 1 eject seg 16777211
+#000017 t648113 qdep reqq 1
+#000018 t648113 wake service-process
+#000019 t550466 line 16777211 clean>empty
+#000020 t648113 qres 1 eject 648113..648113
+#000021 t648113 s- 1 ok
+#000022 t650113 park service-process
+#000023 t19960501 s+ 2 demand seg 16777211
+#000024 t19960501 qdep reqq 1
+#000025 t19960501 wake service-process
+#000026 t19960501 line 16777211 empty>filling
+#000027 t19962501 qdep devq 1
+#000028 t19962501 wake io-server
+#000029 t19962501 park service-process
+#000030 t19962501 qres 2 demand 19960501..19962501
+#000031 t19962501 dev 19962501..22317511
+#000032 t22317511 dev 22317511..23375628
+#000033 t19960501 line 16777211 filling>clean
+#000034 t23375628 s- 2 ok
+#000035 t19962501 wake service-process
+#000036 t19962501 park service-process
+#000037 t23375628 park io-server";
+
+const GOLDEN_DIGEST: u64 = 0x8160_6501_c5eb_6f9f;
+
+#[test]
+fn scripted_run_matches_the_pinned_trace() {
+    let (lines, digest, json) = scripted();
+    let got = lines.join("\n");
+    assert_eq!(
+        got, GOLDEN,
+        "\ntrace drifted from the golden pin; got:\n{got}\n"
+    );
+    assert_eq!(
+        digest, GOLDEN_DIGEST,
+        "digest drifted (got {digest:016x}); the event *stream* changed \
+         even if the retained render did not"
+    );
+    // The JSON render is event-parallel with the text render: one
+    // object per retained event, seq-ordered.
+    let objects = json.matches("{\"seq\":").count();
+    assert_eq!(objects, lines.len(), "JSON object count != text lines");
+    for (tag, n) in [("\"ev\":\"span_open\"", 3), ("\"ev\":\"dev_io\"", 4)] {
+        assert_eq!(json.matches(tag).count(), n, "{tag} count drifted");
+    }
+}
