@@ -24,6 +24,11 @@ cargo test -q --test crash_torture --test crash_props --test recovery_edges
 echo "==> trace suites (trace_invariants + golden_trace + trace_props)"
 cargo test -q --test trace_invariants --test golden_trace --test trace_props
 
+# Drive-pool suite: overlap-vs-serialize, affinity batching, the
+# starvation bound, and pool-schedule determinism (DESIGN.md §6e).
+echo "==> drive-pool suite (tests/drive_pool.rs)"
+cargo test -q --test drive_pool
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -58,5 +63,36 @@ if ! echo "$t4" | grep -q "Tracecheck: 0 findings"; then
   echo "FAIL: table4 trace has invariant findings"
   exit 1
 fi
+
+# Drive-pool ablation smoke: migration + foreground demand reads at
+# 1/2/4 drives. The bench prints "Ablation checks" lines — adding the
+# second drive must never cost wall-clock or demand residency; any
+# "false" fails the gate. It also writes BENCH_pipeline.json, which
+# must exist and parse.
+echo "==> drive-pool ablation smoke (2-drive wall-clock <= 1-drive)"
+dp=$(cargo bench -q -p hl-bench --bench drive_pool 2>&1)
+echo "$dp" | grep -A 4 "Ablation checks"
+if echo "$dp" | grep -A 4 "Ablation checks" | grep -q "false"; then
+  echo "FAIL: drive-pool ablation regressed"
+  exit 1
+fi
+if [ ! -f BENCH_pipeline.json ]; then
+  echo "FAIL: BENCH_pipeline.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_pipeline.json") as f:
+    data = json.load(f)
+abl = data["drive_ablation"]
+assert set(abl) == {"1", "2", "4"}, f"unexpected drive counts: {sorted(abl)}"
+for d, entry in abl.items():
+    for key in ("throughput_kbs", "demand_residency_us",
+                "drive_utilization_pct", "drives", "media_swaps"):
+        assert key in entry, f"drive {d}: missing {key}"
+    assert len(entry["drive_utilization_pct"]) == int(d), d
+print("BENCH_pipeline.json OK:",
+      {d: e["throughput_kbs"]["overall"] for d, e in sorted(abl.items())})
+EOF
 
 echo "CI OK"

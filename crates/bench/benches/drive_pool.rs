@@ -1,0 +1,133 @@
+//! Drive-pool ablation: the §7.3 migration pipeline with a foreground
+//! demand-read stream, run at 1, 2, and 4 jukebox drives.
+//!
+//! With a solo drive every foreground fetch queues behind the copy-out
+//! stream on the same lane; with two drives the demand reads ride the
+//! reader lane while the writer lane drains copy-outs, so demand queue
+//! residency collapses and the migration's wall-clock stops paying for
+//! the interleaved swaps. The run emits `BENCH_pipeline.json` at the
+//! repository root — one machine-readable entry per drive count — and
+//! prints the ablation checks CI gates on.
+
+use std::path::Path;
+
+use hl_bench::pipeline::{run, DemandLoad, PipelineConfig, PipelineResult};
+use hl_bench::table::{print_table, Row};
+use hl_footprint::{Jukebox, JukeboxConfig};
+use hl_vdev::{Disk, DiskProfile, ScsiBus};
+
+const DRIVE_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn run_with_drives(drives: usize) -> PipelineResult {
+    let bus = ScsiBus::new("scsi0");
+    let src = Disk::new(DiskProfile::RZ57, 300_000, Some(bus.clone()));
+    let staging = Disk::new(DiskProfile::RZ58, 300_000, Some(bus.clone()));
+    let jukebox = Jukebox::new(
+        JukeboxConfig {
+            drives,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        Some(bus),
+    );
+    run(PipelineConfig {
+        segments: 24,
+        src_disk: src,
+        staging_disk: staging,
+        jukebox,
+        blocks_per_seg: 256,
+        gather_cluster: 8,
+        src_base: 2,
+        staging_base: 0,
+        staging_slots: 4,
+        cpu_per_block: 550,
+        demand: Some(DemandLoad {
+            reads: 8,
+            start: 5_000_000,
+            gap: 4_000_000,
+            extra_lines: 8,
+        }),
+    })
+}
+
+fn main() {
+    let mut results = Vec::new();
+    for &d in &DRIVE_COUNTS {
+        let r = run_with_drives(d);
+        assert!(
+            r.trace_findings.is_empty(),
+            "tracecheck findings at {d} drives: {:?}",
+            r.trace_findings
+        );
+        results.push((d, r));
+    }
+
+    let mut rows = Vec::new();
+    for (d, r) in &results {
+        let (contention, _, overall) = r.throughputs();
+        rows.push(Row {
+            label: format!("{d}-drive / contention throughput"),
+            paper: "-".into(),
+            measured: format!("{contention:.0}KB/s"),
+        });
+        rows.push(Row {
+            label: format!("{d}-drive / overall throughput"),
+            paper: "-".into(),
+            measured: format!("{overall:.0}KB/s"),
+        });
+        rows.push(Row {
+            label: format!("{d}-drive / demand residency p50/p95"),
+            paper: "-".into(),
+            measured: format!(
+                "{:.1}s/{:.1}s",
+                hl_sim::time::as_secs(r.demand_residency_pct(0.50)),
+                hl_sim::time::as_secs(r.demand_residency_pct(0.95))
+            ),
+        });
+        rows.push(Row {
+            label: format!("{d}-drive / wall clock, swaps"),
+            paper: "-".into(),
+            measured: format!(
+                "{:.0}s, {} swaps",
+                hl_sim::time::as_secs(r.total_end),
+                r.media_swaps
+            ),
+        });
+    }
+    print_table(
+        "Drive-pool ablation: migration + foreground demand reads",
+        ("configuration", "paper", "measured"),
+        &rows,
+    );
+
+    // Machine-readable payload at the repository root, one entry per
+    // drive count (each entry is PipelineResult::to_json()).
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(d, r)| format!("\"{d}\":{}", r.to_json()))
+        .collect();
+    let json = format!("{{\"drive_ablation\":{{{}}}}}", entries.join(","));
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
+    std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
+    println!("\nwrote {}", out.display());
+
+    let r1 = &results[0].1;
+    let r2 = &results[1].1;
+    println!("\nAblation checks:");
+    println!(
+        "  2-drive wall-clock <= 1-drive wall-clock: {}",
+        r2.total_end <= r1.total_end
+    );
+    println!(
+        "  2-drive demand p95 residency <= 1-drive: {}",
+        r2.demand_residency_pct(0.95) <= r1.demand_residency_pct(0.95)
+    );
+    println!(
+        "  every run served all {} demand fetches: {}",
+        8,
+        results.iter().all(|(_, r)| r.demand_residency.len() == 8)
+    );
+    println!(
+        "  writer lane busiest under the copy-out stream: {}",
+        r2.drive_busy[0] >= r2.drive_busy[1]
+    );
+}

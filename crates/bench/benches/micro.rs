@@ -4,12 +4,18 @@
 //! directory lookups.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 
+use highlight::blockmap::BlockMapDev;
 use highlight::segcache::{EjectPolicy, LineState, SegCache};
+use highlight::{TertiaryIo, TsegTable, UniformMap};
+use hl_footprint::{Jukebox, JukeboxConfig};
 use hl_lfs::dir;
 use hl_lfs::ondisk::{cksum, Finfo, SegSummary};
 use hl_lfs::types::FileKind;
+use hl_vdev::{BlockDev, Disk, DiskProfile, BLOCK_SIZE};
 
 fn bench_cksum(c: &mut Criterion) {
     let block = vec![0xa5u8; 4096];
@@ -70,11 +76,48 @@ fn bench_cache_dir(c: &mut Criterion) {
     });
 }
 
+/// Regression guard for the block-map's run splitter: a single-block
+/// secondary read routes through `runs()` on every call, which now uses
+/// an inline buffer instead of allocating a `Vec` per request.
+fn bench_blockmap_route(c: &mut Criterion) {
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (50..54).collect(),
+        EjectPolicy::Lru,
+    )));
+    let tio = Rc::new(TertiaryIo::new(
+        map,
+        Rc::new(jb),
+        disk.clone(),
+        cache,
+        Rc::new(RefCell::new(TsegTable::new())),
+    ));
+    let dev = BlockMapDev::new(disk, map, tio);
+    let mut buf = vec![0u8; BLOCK_SIZE];
+    c.bench_function("blockmap route + peek, 1 secondary block", |b| {
+        b.iter(|| dev.peek(black_box(100), black_box(&mut buf)))
+    });
+    let mut span = vec![0u8; 12 * BLOCK_SIZE];
+    c.bench_function("blockmap route + peek, 12-block span", |b| {
+        b.iter(|| dev.peek(black_box(90), black_box(&mut span)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_cksum,
     bench_summary,
     bench_dir,
-    bench_cache_dir
+    bench_cache_dir,
+    bench_blockmap_route
 );
 criterion_main!(benches);

@@ -26,6 +26,7 @@ fn main() {
         staging_base: 200_000,
         staging_slots: 4,
         cpu_per_block: 550,
+        demand: None,
     });
     let pcts = result.phases.percentages();
     let rows = vec![

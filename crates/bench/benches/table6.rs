@@ -51,6 +51,7 @@ fn run_config(staging_profile: Option<DiskProfile>) -> (f64, f64, f64) {
         staging_base,
         staging_slots: 4,
         cpu_per_block: 550,
+        demand: None,
     });
     result.throughputs()
 }

@@ -59,6 +59,25 @@ pub struct PipelineConfig {
     pub staging_slots: u32,
     /// Migrator CPU cost per block copied.
     pub cpu_per_block: SimTime,
+    /// Optional foreground demand-read load running beside the
+    /// migration (the drive-pool ablation: with one drive these queue
+    /// behind the copy-out stream, with two they ride the reader lane).
+    pub demand: Option<DemandLoad>,
+}
+
+/// A paced stream of demand fetches against the jukebox's highest
+/// volume (pre-poked by [`run`]), issued while the migration runs.
+#[derive(Clone, Copy, Debug)]
+pub struct DemandLoad {
+    /// Demand fetches to issue.
+    pub reads: u32,
+    /// Virtual time of the first fetch.
+    pub start: SimTime,
+    /// Gap between fetches.
+    pub gap: SimTime,
+    /// Extra cache lines added to the pool so the foreground reads do
+    /// not fight the migrator for staging space.
+    pub extra_lines: u32,
 }
 
 /// Pipeline outcome.
@@ -81,6 +100,15 @@ pub struct PipelineResult {
     /// Per-kind event counts from the recorder, for `--trace` bench
     /// summaries.
     pub trace_summary: Vec<(&'static str, u64)>,
+    /// Demand-fetch queue residencies (enqueue to device start),
+    /// ascending; empty without a [`DemandLoad`].
+    pub demand_residency: Vec<SimTime>,
+    /// Per-drive busy time, indexed by lane.
+    pub drive_busy: Vec<SimTime>,
+    /// I/O-server lanes the engine ran.
+    pub drives: usize,
+    /// Media swaps the robot performed.
+    pub media_swaps: u64,
 }
 
 impl PipelineResult {
@@ -110,6 +138,58 @@ impl PipelineResult {
             self.completions.len() as f64 * seg_kb / hl_sim::time::as_secs(self.total_end.max(1));
         (contention, no_contention, overall)
     }
+
+    /// Nearest-rank percentile over the sorted residency list, µs.
+    pub fn demand_residency_pct(&self, q: f64) -> SimTime {
+        if self.demand_residency.is_empty() {
+            return 0;
+        }
+        let n = self.demand_residency.len();
+        let rank = ((n as f64 - 1.0) * q).round() as usize;
+        self.demand_residency[rank.min(n - 1)]
+    }
+
+    /// Per-drive utilization over the whole run, percent.
+    pub fn drive_utilization(&self) -> Vec<f64> {
+        let total = self.total_end.max(1) as f64;
+        self.drive_busy
+            .iter()
+            .map(|&b| 100.0 * b as f64 / total)
+            .collect()
+    }
+
+    /// Machine-readable summary (the `BENCH_pipeline.json` payload):
+    /// Table 6's throughputs, the demand queue-residency percentiles,
+    /// drive utilization, and the robot's swap count.
+    pub fn to_json(&self) -> String {
+        let (contention, no_contention, overall) = self.throughputs();
+        let utils: Vec<String> = self
+            .drive_utilization()
+            .iter()
+            .map(|u| format!("{u:.2}"))
+            .collect();
+        format!(
+            concat!(
+                "{{\"throughput_kbs\":{{\"contention\":{:.1},",
+                "\"no_contention\":{:.1},\"overall\":{:.1}}},",
+                "\"demand_residency_us\":{{\"p50\":{},\"p95\":{},\"n\":{}}},",
+                "\"drive_utilization_pct\":[{}],",
+                "\"drives\":{},\"media_swaps\":{},\"wall_clock_us\":{},",
+                "\"trace_digest\":\"{:016x}\"}}"
+            ),
+            contention,
+            no_contention,
+            overall,
+            self.demand_residency_pct(0.50),
+            self.demand_residency_pct(0.95),
+            self.demand_residency.len(),
+            utils.join(","),
+            self.drives,
+            self.media_swaps,
+            self.total_end,
+            self.trace_digest,
+        )
+    }
 }
 
 struct World {
@@ -123,7 +203,35 @@ struct World {
     /// The migrator's own wake handle, for copy-out backpressure.
     migrator_id: ActorId,
     tickets: Vec<Ticket>,
+    demand_tickets: Vec<Ticket>,
     migrator_done: Option<SimTime>,
+}
+
+/// The foreground reader: paced demand fetches of the top volume.
+struct DemandActor {
+    load: DemandLoad,
+    issued: u32,
+}
+
+impl Actor<World> for DemandActor {
+    fn step(&mut self, w: &mut World, now: SimTime) -> Step {
+        if self.issued >= self.load.reads {
+            return Step::Done;
+        }
+        let spv = w.tio.jukebox().segments_per_volume();
+        let vol = w.tio.jukebox().volumes() - 1;
+        let seg = w.tio.map.tert_seg(vol, self.issued % spv);
+        w.demand_tickets.push(w.tio.enqueue_demand(now, seg));
+        self.issued += 1;
+        if self.issued >= self.load.reads {
+            return Step::Done;
+        }
+        Step::Yield(now + self.load.gap)
+    }
+
+    fn name(&self) -> &str {
+        "demand-reader"
+    }
 }
 
 struct MigratorActor {
@@ -233,15 +341,16 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
     // staging disk and mirrors the jukebox's geometry in the tertiary
     // range, so the engine's copy-outs address the same blocks the old
     // hand-rolled pipeline did.
+    let lines = cfg.staging_slots + cfg.demand.map_or(0, |d| d.extra_lines);
     let map = UniformMap::new(
         cfg.staging_base as u32,
         cfg.blocks_per_seg,
-        cfg.staging_slots,
+        lines,
         cfg.jukebox.volumes(),
         cfg.jukebox.segments_per_volume(),
     );
     let cache = Rc::new(RefCell::new(SegCache::new(
-        (0..cfg.staging_slots).collect::<Vec<SegNo>>(),
+        (0..lines).collect::<Vec<SegNo>>(),
         EjectPolicy::Lru,
     )));
     let tseg = Rc::new(RefCell::new(TsegTable::new()));
@@ -262,6 +371,19 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
             pending: None,
         },
     );
+    if let Some(load) = cfg.demand {
+        // The foreground reads target the top volume, well away from
+        // the copy-out stream's write volumes.
+        let vol = cfg.jukebox.volumes() - 1;
+        let spv = cfg.jukebox.segments_per_volume();
+        let seg_image = vec![0x6du8; cfg.blocks_per_seg as usize * BLOCK_SIZE];
+        for slot in 0..load.reads.min(spv) {
+            cfg.jukebox
+                .poke_segment(vol, slot, &seg_image)
+                .expect("poke demand segment");
+        }
+        sched.spawn_at(load.start, DemandActor { load, issued: 0 });
+    }
     let mut world = World {
         tio: tio.clone(),
         src_disk: cfg.src_disk,
@@ -272,6 +394,7 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         cpu_per_block: cfg.cpu_per_block,
         migrator_id,
         tickets: Vec::new(),
+        demand_tickets: Vec::new(),
         migrator_done: None,
     };
     sched.run(&mut world);
@@ -282,6 +405,28 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         .map(|t| t.copyout_result().expect("copy-out failed"))
         .collect();
     completions.sort_unstable();
+    for t in &world.demand_tickets {
+        t.fetch_result().expect("demand fetch failed");
+    }
+    // Queue residency (enqueue to device start) of each demand fetch,
+    // replayed from the recorder's event stream.
+    let mut demand_residency: Vec<SimTime> = tio
+        .tracer()
+        .events()
+        .iter()
+        .filter_map(|ev| match ev.kind {
+            hl_trace::EventKind::Queuing {
+                class: hl_trace::Class::Demand,
+                from,
+                to,
+                ..
+            } => Some(to - from),
+            _ => None,
+        })
+        .collect();
+    demand_residency.sort_unstable();
+    let st = tio.stats();
+    let drives = tio.drives();
     PipelineResult {
         migrator_done: world.migrator_done.unwrap_or(0),
         total_end: completions.last().copied().unwrap_or(0),
@@ -290,6 +435,10 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         trace_digest: tio.trace_digest(),
         trace_findings: tio.trace_findings(),
         trace_summary: tio.tracer().summary(),
+        demand_residency,
+        drive_busy: st.drive_busy[..drives].to_vec(),
+        drives,
+        media_swaps: tio.jukebox().stats().swaps,
     }
 }
 
@@ -318,6 +467,7 @@ mod tests {
             staging_base: 200_000,
             staging_slots: 6,
             cpu_per_block: 100,
+            demand: None,
         })
     }
 
@@ -387,6 +537,7 @@ mod tests {
             staging_base: 200_000,
             staging_slots: 2,
             cpu_per_block: 100,
+            demand: None,
         });
         assert_eq!(r.completions.len(), 8);
     }

@@ -444,6 +444,7 @@ fn one_pass(ops: &[TortureOp], plan: CrashPlan, k: u64) -> String {
                                 st.wait_scrub,
                             ]),
                             max_dev_overlap: Some(hl.tio().io_peak_in_flight()),
+                            drive_lanes: Some(hl.tio().drives()),
                             require_all_closed: false,
                         },
                     )

@@ -30,6 +30,50 @@ enum Route {
     Tertiary(SegNo),
 }
 
+/// Inline capacity of [`RunBuf`]. Nearly every LFS request is one run
+/// (a partial-segment read or write) and a multi-segment span adds one
+/// run per segment crossed, so eight covers everything the filesystem
+/// actually issues without touching the heap.
+const INLINE_RUNS: usize = 8;
+
+/// A split request's same-route runs, held inline. `runs()` sits on the
+/// hot path of every block I/O; the old per-call `Vec` made each 4 KB
+/// read pay a heap round trip for a single-element list.
+struct RunBuf {
+    inline: [(Route, u64, u64); INLINE_RUNS],
+    len: usize,
+    /// Overflow for pathological spans (> [`INLINE_RUNS`] segments).
+    spill: Vec<(Route, u64, u64)>,
+}
+
+impl RunBuf {
+    fn new() -> RunBuf {
+        RunBuf {
+            inline: [(Route::Disk, 0, 0); INLINE_RUNS],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, run: (Route, u64, u64)) {
+        if self.len < INLINE_RUNS {
+            self.inline[self.len] = run;
+            self.len += 1;
+        } else {
+            self.spill.push(run);
+        }
+    }
+
+    fn iter(&self) -> impl Iterator<Item = &(Route, u64, u64)> {
+        self.inline[..self.len].iter().chain(self.spill.iter())
+    }
+
+    #[cfg(test)]
+    fn spilled(&self) -> bool {
+        !self.spill.is_empty()
+    }
+}
+
 /// The block-map device the HighLight LFS mounts on.
 pub struct BlockMapDev {
     disks: Rc<dyn BlockDev>,
@@ -73,8 +117,8 @@ impl BlockMapDev {
     }
 
     /// Splits `[block, block+count)` into maximal same-route runs.
-    fn runs(&self, block: u64, count: u64) -> Result<Vec<(Route, u64, u64)>, DevError> {
-        let mut out: Vec<(Route, u64, u64)> = Vec::new();
+    fn runs(&self, block: u64, count: u64) -> Result<RunBuf, DevError> {
+        let mut out = RunBuf::new();
         let mut b = block;
         let end = block + count;
         while b < end {
@@ -155,7 +199,7 @@ impl BlockDev for BlockMapDev {
         let count = (buf.len() / BLOCK_SIZE) as u64;
         let mut t = at;
         let start = at;
-        for (route, b, n) in self.runs(block, count)? {
+        for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
             let hi = lo + (n * BLOCK_SIZE as u64) as usize;
             match route {
@@ -177,7 +221,7 @@ impl BlockDev for BlockMapDev {
         let count = (buf.len() / BLOCK_SIZE) as u64;
         let mut t = at;
         let start = at;
-        for (route, b, n) in self.runs(block, count)? {
+        for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
             let hi = lo + (n * BLOCK_SIZE as u64) as usize;
             match route {
@@ -197,7 +241,7 @@ impl BlockDev for BlockMapDev {
 
     fn peek(&self, block: u64, buf: &mut [u8]) -> Result<(), DevError> {
         let count = (buf.len() / BLOCK_SIZE) as u64;
-        for (route, b, n) in self.runs(block, count)? {
+        for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
             let hi = lo + (n * BLOCK_SIZE as u64) as usize;
             match route {
@@ -228,7 +272,7 @@ impl BlockDev for BlockMapDev {
 
     fn poke(&self, block: u64, buf: &[u8]) -> Result<(), DevError> {
         let count = (buf.len() / BLOCK_SIZE) as u64;
-        for (route, b, n) in self.runs(block, count)? {
+        for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
             let hi = lo + (n * BLOCK_SIZE as u64) as usize;
             match route {
@@ -380,6 +424,30 @@ mod tests {
         assert_eq!(buf[0], 0xaa);
         assert_eq!(buf[BLOCK_SIZE], 0xbb);
         assert_eq!(tio.stats().demand_fetches, 2);
+    }
+
+    #[test]
+    fn run_splitting_stays_inline_for_typical_requests() {
+        let (dev, _, _, map, _) = rig();
+        // A one-block secondary read: one run, nothing on the heap.
+        let r = dev.runs(100, 1).unwrap();
+        assert_eq!(r.iter().count(), 1);
+        assert!(!r.spilled());
+        // A span crossing more segments than the inline capacity still
+        // splits correctly, tiling the range exactly.
+        // Volume numbering descends from the top of the address space:
+        // the last volume's slot 0 is the lowest tertiary segment.
+        let base = map.seg_base(map.tert_seg(3, 0)) as u64;
+        let span = (INLINE_RUNS as u64 + 2) * map.blocks_per_seg as u64;
+        let r = dev.runs(base, span).unwrap();
+        assert_eq!(r.iter().count(), INLINE_RUNS + 2);
+        assert!(r.spilled());
+        let mut b = base;
+        for &(_, rb, rn) in r.iter() {
+            assert_eq!(rb, b);
+            b += rn;
+        }
+        assert_eq!(b, base + span);
     }
 
     #[test]

@@ -1,16 +1,31 @@
 //! The service-process and I/O-server actors (§6.7, Figure 5).
 //!
-//! The paper runs these as two user-level processes: the *service
-//! process* fields kernel requests and selects cache lines; the *I/O
-//! server* owns the Footprint device and moves whole segments. Here each
-//! is an [`Actor`] with park/wake semantics: the service process sleeps
-//! until a request arrives, drains the priority queue (demand > eject >
+//! The paper runs these as user-level processes: the *service process*
+//! fields kernel requests and selects cache lines; the *I/O servers* own
+//! the Footprint drives and move whole segments. Here each is an
+//! [`Actor`] with park/wake semantics: the service process sleeps until
+//! a request arrives, drains the priority queue (demand > eject >
 //! copy-out > prefetch > scrub), and stalls when the bounded device
-//! queue fills; the I/O server sleeps until dispatched work arrives and
-//! executes it one operation at a time.
+//! queue fills; the I/O servers form a **pool** — one lane per jukebox
+//! drive — all draining the shared device queue through the
+//! volume-affinity scheduler ([`EngineQueues::take_for_drive`]), so a
+//! demand fetch proceeds on an idle drive while the writer drive streams
+//! copy-outs. Work pushed to the device queue wakes every lane
+//! (wake-all); a lane with nothing eligible re-parks, which keeps the
+//! eligibility rules in exactly one place and the schedule
+//! deterministic.
 //!
-//! Both actors are generic over the scheduler's world type, so the same
-//! pair runs on [`crate::service::TertiaryIo`]'s internal scheduler (the
+//! Lane layout: drive 0 is the writer lane (the paper allocates "one
+//! drive for the currently-active write volume", §7) and is the only
+//! lane that executes copy-outs and scrubs; drives 1.. are reader
+//! lanes. Reader lanes are spawned *before* the writer so that at equal
+//! virtual times a read lands on a reader drive and leaves the write
+//! platter alone. The robot arm needs no extra locking: it is already a
+//! serialized [`hl_sim::Resource`] inside the jukebox, so concurrent
+//! swaps from different lanes queue on its busy horizon.
+//!
+//! All actors are generic over the scheduler's world type, so the same
+//! set runs on [`crate::service::TertiaryIo`]'s internal scheduler (the
 //! synchronous façades) or on a benchmark's scheduler alongside
 //! migrators and applications (`TertiaryIo::attach_engine`).
 
@@ -20,13 +35,14 @@ use hl_sim::time::SimTime;
 use hl_sim::{Actor, ActorId, Scheduler, Step, Waker};
 
 use crate::requests::{ReqClass, DISPATCH_CPU};
-use crate::service::{phase, TioInner};
+use crate::service::{phase, TioInner, MAX_DRIVES};
 
 /// Wake handles for the engine's actors on their current scheduler.
 pub(crate) struct EngineHandles {
     pub(crate) waker: Waker,
     pub(crate) svc: ActorId,
-    pub(crate) io: ActorId,
+    /// One I/O lane per drive, indexed by drive number.
+    pub(crate) io: Vec<ActorId>,
 }
 
 /// The service process: drains the request queue in priority order and
@@ -38,7 +54,7 @@ struct SvcActor {
 impl<W> Actor<W> for SvcActor {
     fn step(&mut self, _world: &mut W, now: SimTime) -> Step {
         if self.inner.queues.borrow().devq_full() {
-            // Backpressure: the I/O server wakes us when it pops.
+            // Backpressure: an I/O lane wakes us when it pops.
             return Step::Park;
         }
         let req = self.inner.queues.borrow_mut().pop_ready(now);
@@ -62,29 +78,49 @@ impl<W> Actor<W> for SvcActor {
     }
 }
 
-/// The I/O server: drains the device queue one operation at a time,
-/// measuring each op's queue residency on the way out.
+/// One I/O-server lane: drains the shared device queue through the
+/// volume-affinity scheduler, one operation at a time on its home drive.
 struct IoActor {
     inner: Rc<TioInner>,
-    /// When the last operation finished (the device-side busy horizon).
+    /// The lane's home drive (swaps for unloaded volumes go here).
+    drive: usize,
+    /// Writer lane (drive 0): the only lane running write-class ops.
+    writer: bool,
+    /// Single-drive pool: class preferences are moot.
+    solo: bool,
+    /// Trace/park label, e.g. `io-server-d0`.
+    label: String,
+    /// When this lane's last operation finished (its busy horizon).
     free_since: SimTime,
 }
 
 impl<W> Actor<W> for IoActor {
     fn step(&mut self, _world: &mut W, now: SimTime) -> Step {
-        let op = self.inner.queues.borrow_mut().devq.pop_front();
+        let loaded_all = self.inner.jukebox.loaded_volumes();
+        let op = self.inner.queues.borrow_mut().take_for_drive(
+            self.drive,
+            self.writer,
+            self.solo,
+            &loaded_all,
+        );
         let Some(op) = op else {
             return Step::Park;
         };
         // A device-queue slot freed: the service process may dispatch.
         self.inner.wake_svc(now);
         let start = now.max(op.ready_at).max(self.free_since);
-        // Table 4's "queuing": time the op waited beyond the device
+        // Table 4's "queuing": time the op waited beyond this lane
         // simply being busy. With event-driven wakes this is just the
-        // dispatch hop when the server was idle, and zero when the op
-        // arrived while the server was busy.
+        // dispatch hop when the lane was idle, and zero when the op
+        // arrived while the lane was busy.
         let queued = start.saturating_sub(op.enqueued_at.max(self.free_since));
         self.inner.phases.borrow_mut().add(phase::QUEUING, queued);
+        self.inner.queues.borrow_mut().log(format!(
+            "io< d{} {} seg {} t{start}",
+            self.drive,
+            op.class.label(),
+            op.seg.map_or(-1i64, |s| s as i64),
+        ));
         // Queue residency (enqueue to device start) goes to the trace;
         // `SvcStats`' wait counters are derived from it.
         self.inner.tracer.queuing(
@@ -94,7 +130,7 @@ impl<W> Actor<W> for IoActor {
             op.enqueued_at.min(start),
             start,
         );
-        let end = self.inner.exec(&op, start);
+        let end = self.inner.exec(&op, start, self.drive);
         self.free_since = end;
         if op.class == ReqClass::CopyOut {
             self.inner.wake_copyout_waiters(end);
@@ -103,12 +139,12 @@ impl<W> Actor<W> for IoActor {
     }
 
     fn name(&self) -> &str {
-        "io-server"
+        &self.label
     }
 }
 
-/// Spawns the engine's actor pair (parked) on `sched` and returns their
-/// wake handles.
+/// Spawns the engine's actors (parked) on `sched` — the service process
+/// plus one I/O lane per jukebox drive — and returns their wake handles.
 pub(crate) fn spawn_engine<W: 'static>(
     inner: &Rc<TioInner>,
     sched: &mut Scheduler<W>,
@@ -116,10 +152,22 @@ pub(crate) fn spawn_engine<W: 'static>(
     let svc = sched.spawn_parked(SvcActor {
         inner: inner.clone(),
     });
-    let io = sched.spawn_parked(IoActor {
-        inner: inner.clone(),
-        free_since: 0,
-    });
+    let drives = inner.jukebox.drives().clamp(1, MAX_DRIVES);
+    let spawn_lane = |sched: &mut Scheduler<W>, d: usize| {
+        sched.spawn_parked(IoActor {
+            inner: inner.clone(),
+            drive: d,
+            writer: d == 0,
+            solo: drives == 1,
+            label: format!("io-server-d{d}"),
+            free_since: 0,
+        })
+    };
+    // Reader lanes first (ties at equal wake times resolve toward
+    // them), writer lane last; `io` stays indexed by drive.
+    let readers: Vec<ActorId> = (1..drives).map(|d| spawn_lane(sched, d)).collect();
+    let mut io = vec![spawn_lane(sched, 0)];
+    io.extend(readers);
     EngineHandles {
         waker: sched.waker(),
         svc,

@@ -53,5 +53,5 @@ pub use recovery::{RecoveryPolicy, RecoveryState};
 pub use replicas::ReplicaSet;
 pub use requests::{FetchMode, Outcome, ReqClass, Ticket, DISPATCH_CPU};
 pub use segcache::{EjectPolicy, SegCache};
-pub use service::{ScrubReport, StallEvent, SvcStats, TertiaryIo};
+pub use service::{ScrubReport, StallEvent, SvcStats, TertiaryIo, MAX_DRIVES};
 pub use tsegfile::TsegTable;

@@ -21,6 +21,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
+use hl_footprint::VolumeId;
 use hl_lfs::types::SegNo;
 use hl_sim::time::{SimTime, MS};
 use hl_vdev::DevError;
@@ -34,6 +35,13 @@ use crate::service::ScrubReport;
 /// "queuing" row: with event-driven wakes there is no polling slack left,
 /// so what remains is the dispatch hop itself.
 pub const DISPATCH_CPU: SimTime = 2 * MS;
+
+/// Starvation bound for the volume-affinity device scheduler: once an op
+/// has been passed over this many times by younger ops (affinity hits on
+/// a loaded platter, or class-preferred work), it *must* be taken next
+/// by any lane it is eligible for. This caps a demand fetch's wait at K
+/// affinity batches no matter how attractive the loaded volume stays.
+pub const AFFINITY_BOUND: u32 = 4;
 
 /// Request classes in dispatch-priority order: a blocked reader beats
 /// everything, reclaiming pinned lines beats background work, and
@@ -199,8 +207,21 @@ pub(crate) struct DevOp {
     pub demand_enq: Option<SimTime>,
     /// Trace span inherited from the originating request.
     pub span: u64,
+    /// Target volume, resolved at dispatch (`None` for whole-device work
+    /// like scrub): the affinity key the device scheduler batches on.
+    pub vol: Option<VolumeId>,
+    /// How many times a later op was taken over this one (the starvation
+    /// guard's age; see [`AFFINITY_BOUND`]).
+    pub bypassed: u32,
     /// Completion cell.
     pub ticket: Ticket,
+}
+
+/// `true` for op classes only the writer lane (drive 0) may execute:
+/// the paper allocates "one drive for the currently-active write volume"
+/// (§7), so copy-outs and scrub re-replication stay off reader drives.
+pub(crate) fn write_class(class: ReqClass) -> bool {
+    matches!(class, ReqClass::CopyOut | ReqClass::Scrub)
 }
 
 /// Transcript length cap: long runs keep the head of the event log plus
@@ -224,6 +245,12 @@ pub(crate) struct EngineQueues {
     /// Carries `(seq, span, ticket)` so joins can reference the parent
     /// op's trace span.
     pending_fetch: HashMap<SegNo, (u64, u64, Ticket)>,
+    /// Device-scheduler counters: ops taken because their volume was
+    /// already loaded in the taking lane's drive.
+    pub affinity_hits: u64,
+    /// Ops force-taken by the starvation guard after [`AFFINITY_BOUND`]
+    /// bypasses.
+    pub starvation_promotions: u64,
     /// Deterministic event log (capped).
     transcript: Vec<String>,
     transcript_dropped: u64,
@@ -238,6 +265,8 @@ impl EngineQueues {
             devq: VecDeque::new(),
             devq_cap: 8,
             pending_fetch: HashMap::new(),
+            affinity_hits: 0,
+            starvation_promotions: 0,
             transcript: Vec::new(),
             transcript_dropped: 0,
         }
@@ -346,6 +375,100 @@ impl EngineQueues {
     pub fn next_ready(&self) -> Option<SimTime> {
         self.reqq.values().map(|r| r.enqueued_at).min()
     }
+
+    /// Volume-affinity dispatch: takes the device-queue op an idle lane
+    /// should run next, or `None` if nothing queued is eligible for it.
+    ///
+    /// `drive` is the lane's home drive, `writer` marks the writer lane
+    /// (drive 0 — the only one allowed to run [`write_class`] ops),
+    /// `solo` a single-drive pool, and `loaded_all` the volume currently
+    /// in each drive. Selection order, replacing strict FIFO
+    /// `pop_front`:
+    ///
+    /// 1. **Starvation guard** — the oldest eligible op bypassed at least
+    ///    [`AFFINITY_BOUND`] times is taken unconditionally, so demand
+    ///    fetches never wait behind more than K affinity batches.
+    /// 2. **Affinity hit** — the oldest eligible op targeting the volume
+    ///    this lane's drive already has loaded (no media swap; this is
+    ///    what batches ops per platter).
+    /// 3. **Class-preferred swap** — the oldest eligible op whose volume
+    ///    is loaded nowhere (a fresh swap, not a platter steal), with the
+    ///    writer lane preferring write-class work and reader lanes taking
+    ///    read-class work, so a demand read does not park the write
+    ///    stream's platter unless it has to.
+    /// 4. **Any-class fallback** — with no class-preferred work queued,
+    ///    an idle lane takes the oldest eligible op for any unloaded
+    ///    volume: an idle writer drive serves demand reads rather than
+    ///    letting them queue behind a busy reader drive.
+    ///
+    /// An op for a volume loaded in a *different* drive is left for that
+    /// lane's affinity pass (rule 2 there) — unless the starvation guard
+    /// fires, in which case any eligible lane takes it and the footprint
+    /// routes the transfer to the drive that holds the platter.
+    ///
+    /// Every eligible op older than the one selected has its `bypassed`
+    /// age bumped; rule-2 picks count into `affinity_hits`, rule-1 picks
+    /// into `starvation_promotions`.
+    pub fn take_for_drive(
+        &mut self,
+        drive: usize,
+        writer: bool,
+        solo: bool,
+        loaded_all: &[Option<VolumeId>],
+    ) -> Option<DevOp> {
+        let loaded = loaded_all.get(drive).copied().flatten();
+        let eligible: Vec<usize> = self
+            .devq
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| writer || !write_class(op.class))
+            .map(|(i, _)| i)
+            .collect();
+        let starved = eligible
+            .iter()
+            .copied()
+            .find(|&i| self.devq[i].bypassed >= AFFINITY_BOUND);
+        let affine = || {
+            let v = loaded?;
+            eligible
+                .iter()
+                .copied()
+                .find(|&i| self.devq[i].vol == Some(v))
+        };
+        let fresh_swap = || {
+            eligible.iter().copied().find(|&i| {
+                let op = &self.devq[i];
+                let class_fits = solo || (write_class(op.class) == writer);
+                let vol_unloaded = match op.vol {
+                    None => true,
+                    Some(v) => !loaded_all.iter().flatten().any(|&lv| lv == v),
+                };
+                // Write-class ops can run nowhere else: the writer lane
+                // takes them even when the platter sits in another
+                // drive (the footprint routes to that drive).
+                class_fits && (vol_unloaded || (write_class(op.class) && writer))
+            })
+        };
+        let any_swap = || {
+            eligible.iter().copied().find(|&i| match self.devq[i].vol {
+                None => true,
+                Some(v) => !loaded_all.iter().flatten().any(|&lv| lv == v),
+            })
+        };
+        let pick = starved
+            .or_else(affine)
+            .or_else(fresh_swap)
+            .or_else(any_swap)?;
+        if starved == Some(pick) {
+            self.starvation_promotions += 1;
+        } else if loaded.is_some() && self.devq[pick].vol == loaded {
+            self.affinity_hits += 1;
+        }
+        for &i in eligible.iter().take_while(|&&i| i < pick) {
+            self.devq[i].bypassed += 1;
+        }
+        self.devq.remove(pick)
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +550,103 @@ mod tests {
         assert_eq!(joined.fetch_result().unwrap(), (1, 42));
         q.retire_fetch(9);
         assert!(q.pending_fetch(9).is_none());
+    }
+
+    fn devop(class: ReqClass, vol: Option<VolumeId>) -> DevOp {
+        DevOp {
+            class,
+            seg: None,
+            disk_seg: None,
+            mode: None,
+            enqueued_at: 0,
+            ready_at: 0,
+            demand_enq: None,
+            span: 0,
+            vol,
+            bypassed: 0,
+            ticket: Ticket::new(),
+        }
+    }
+
+    #[test]
+    fn write_class_ops_are_writer_lane_only() {
+        let mut q = EngineQueues::new();
+        q.devq.push_back(devop(ReqClass::CopyOut, Some(3)));
+        assert!(q.take_for_drive(1, false, false, &[None, None]).is_none());
+        let op = q.take_for_drive(0, true, false, &[None, None]).unwrap();
+        assert_eq!(op.class, ReqClass::CopyOut);
+    }
+
+    #[test]
+    fn affinity_prefers_the_loaded_platter_and_ages_the_bypassed() {
+        let mut q = EngineQueues::new();
+        q.devq.push_back(devop(ReqClass::Prefetch, Some(2)));
+        q.devq.push_back(devop(ReqClass::Prefetch, Some(7)));
+        let op = q
+            .take_for_drive(1, false, false, &[None, Some(7)])
+            .unwrap();
+        assert_eq!(op.vol, Some(7), "loaded platter batches first");
+        assert_eq!(q.affinity_hits, 1);
+        assert_eq!(q.devq[0].bypassed, 1, "passed-over op aged");
+    }
+
+    #[test]
+    fn starvation_guard_overrides_affinity() {
+        let mut q = EngineQueues::new();
+        let mut old = devop(ReqClass::Demand, Some(2));
+        old.bypassed = AFFINITY_BOUND;
+        q.devq.push_back(devop(ReqClass::Prefetch, Some(7)));
+        q.devq.push_back(old);
+        let op = q
+            .take_for_drive(1, false, false, &[None, Some(7)])
+            .unwrap();
+        assert_eq!(op.vol, Some(2), "starved op beats the affinity hit");
+        assert_eq!(q.starvation_promotions, 1);
+    }
+
+    #[test]
+    fn writer_lane_prefers_writes_but_serves_reads_when_idle() {
+        let mut q = EngineQueues::new();
+        q.devq.push_back(devop(ReqClass::Demand, Some(5)));
+        q.devq.push_back(devop(ReqClass::CopyOut, Some(1)));
+        // With write work queued, the writer lane takes it first even
+        // though the demand read is older …
+        let op = q.take_for_drive(0, true, false, &[None, None]).unwrap();
+        assert_eq!(op.class, ReqClass::CopyOut);
+        // … but once no write work remains, the idle writer serves the
+        // read instead of leaving it to queue on the other lane.
+        let op = q.take_for_drive(0, true, false, &[None, None]).unwrap();
+        assert_eq!(op.class, ReqClass::Demand);
+    }
+
+    #[test]
+    fn reads_of_platters_loaded_elsewhere_are_left_for_their_lane() {
+        let mut q = EngineQueues::new();
+        q.devq.push_back(devop(ReqClass::Demand, Some(4)));
+        // Volume 4 sits in drive 1: lane 0 leaves the op alone …
+        assert!(q.take_for_drive(0, true, false, &[None, Some(4)]).is_none());
+        // … and lane 1 takes it as an affinity hit.
+        let op = q
+            .take_for_drive(1, false, false, &[None, Some(4)])
+            .unwrap();
+        assert_eq!(op.vol, Some(4));
+        assert_eq!(q.affinity_hits, 1);
+    }
+
+    #[test]
+    fn solo_lane_takes_everything_in_affinity_batches() {
+        let mut q = EngineQueues::new();
+        for i in 0..6 {
+            let vol = if i % 2 == 0 { 0 } else { 1 };
+            q.devq.push_back(devop(ReqClass::Prefetch, Some(vol)));
+        }
+        // Volume 0 loaded: the solo lane drains all three vol-0 ops
+        // before touching vol 1, amortizing the swap.
+        let mut vols = Vec::new();
+        while let Some(op) = q.take_for_drive(0, true, true, &[Some(0)]) {
+            vols.push(op.vol.unwrap());
+        }
+        assert_eq!(vols, [0, 0, 0, 1, 1, 1]);
     }
 
     #[test]

@@ -81,6 +81,10 @@ pub enum StallEvent {
 /// The "hold on" notification agent callback type (§10).
 pub type StallNotifier = Box<dyn Fn(StallEvent)>;
 
+/// Upper bound on I/O-server lanes (and on the per-drive stat arrays).
+/// Jukeboxes with more drives than this share the last lane.
+pub const MAX_DRIVES: usize = 8;
+
 /// Cumulative service counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SvcStats {
@@ -127,6 +131,19 @@ pub struct SvcStats {
     pub wait_scrub: SimTime,
     /// Cumulative queue residency of ejection requests.
     pub wait_eject: SimTime,
+    /// Device operations executed per drive lane (index = drive number,
+    /// capped at [`MAX_DRIVES`]).
+    pub drive_ops: [u64; MAX_DRIVES],
+    /// Cumulative device busy time per drive lane.
+    pub drive_busy: [SimTime; MAX_DRIVES],
+    /// Peak simultaneously-busy drive lanes (strict handoff semantics:
+    /// an op starting exactly when another ends does not overlap it).
+    pub drive_peak: u32,
+    /// Device-queue picks that reused the drive's loaded volume (no
+    /// media swap).
+    pub affinity_hits: u64,
+    /// Ops promoted past affinity batching by the starvation guard.
+    pub starvation_promotions: u64,
 }
 
 /// Outcome of one [`TertiaryIo::scrub`] pass.
@@ -214,10 +231,12 @@ impl TioInner {
         }
     }
 
-    /// Wakes the I/O-server actor at `at`.
+    /// Wakes every I/O-server lane at `at` (wake-all: each lane consults
+    /// the volume-affinity scheduler and re-parks if nothing is eligible
+    /// for it, keeping the eligibility rules in one place).
     pub(crate) fn wake_io(&self, at: SimTime) {
         if let Some(h) = &*self.handles.borrow() {
-            h.waker.wake(h.io, at);
+            h.waker.wake_many(&h.io, at);
         }
     }
 
@@ -260,9 +279,12 @@ impl TioInner {
                     class: req.class,
                     seg: None,
                     disk_seg: None,
+                    // A scrub walks many volumes: no single affinity.
+                    vol: None,
                     mode: None,
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
+                    bypassed: 0,
                     demand_enq: None,
                     span: req.span,
                     ticket: req.ticket,
@@ -306,9 +328,11 @@ impl TioInner {
                     class: req.class,
                     seg: Some(seg),
                     disk_seg: Some(disk_seg),
+                    vol: self.map.vol_slot(seg).map(|(v, _)| v),
                     mode: req.mode,
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
+                    bypassed: 0,
                     demand_enq: req.demand_enq,
                     span: req.span,
                     ticket: req.ticket,
@@ -349,9 +373,11 @@ impl TioInner {
                     class: req.class,
                     seg: Some(seg),
                     disk_seg: Some(line.disk_seg),
+                    vol: Some(vol),
                     mode: None,
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
+                    bypassed: 0,
                     demand_enq: None,
                     span: req.span,
                     ticket: req.ticket,
@@ -377,14 +403,16 @@ impl TioInner {
         self.wake_io(ready);
     }
 
-    /// Executes one device op at `start`, resolves its ticket, and
-    /// returns when the I/O server is next free.
-    pub(crate) fn exec(&self, op: &DevOp, start: SimTime) -> SimTime {
+    /// Executes one device op at `start` on lane `drive`, resolves its
+    /// ticket, and returns when that lane's drive is next free (for a
+    /// demand fetch that is the media read's end — the cache-disk fill
+    /// proceeds on the staging lane while the drive serves the next op).
+    pub(crate) fn exec(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
         match op.class {
-            ReqClass::Demand | ReqClass::Prefetch => self.exec_fetch(op, start),
-            ReqClass::CopyOut => self.exec_copyout(op, start),
+            ReqClass::Demand | ReqClass::Prefetch => self.exec_fetch(op, start, drive),
+            ReqClass::CopyOut => self.exec_copyout(op, start, drive),
             ReqClass::Scrub => {
-                let report = self.scrub_pass(start);
+                let report = self.scrub_pass(start, drive);
                 let end = report.end;
                 self.queues
                     .borrow_mut()
@@ -408,13 +436,13 @@ impl TioInner {
         op.ticket.complete(Outcome::Fetch(Err(err)));
     }
 
-    fn exec_fetch(&self, op: &DevOp, start: SimTime) -> SimTime {
+    fn exec_fetch(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
         let seg = op.seg.expect("fetch targets a segment");
         let disk_seg = op.disk_seg.expect("fetch got a line at dispatch");
         // I/O server: tertiary → memory, with retry/failover (§10).
         let mut buf = vec![0u8; self.seg_bytes];
-        let r = match self.fetch_segment(start, seg, &mut buf) {
-            Ok((r, _home)) => r,
+        let (r, used) = match self.fetch_segment(start, drive, seg, &mut buf) {
+            Ok((r, used, _home)) => (r, used),
             Err(e) => {
                 self.fail_fetch(op, seg, start, e);
                 return start;
@@ -423,7 +451,9 @@ impl TioInner {
         self.phases
             .borrow_mut()
             .add(phase::FOOTPRINT_READ, r.duration());
-        self.iotrack.borrow_mut().admit(r);
+        self.iotrack
+            .borrow_mut()
+            .admit_on(r, hl_trace::Lane::Drive(used as u32));
         let base = self.map.seg_base(disk_seg) as u64;
         let (ready, end) = match op.mode.unwrap_or(FetchMode::Demand) {
             FetchMode::Demand => {
@@ -440,7 +470,9 @@ impl TioInner {
                     .borrow_mut()
                     .add(phase::CACHE_FILL, w.duration());
                 self.iotrack.borrow_mut().admit(w);
-                (w.end, w.end)
+                // The drive is free once the media read lands; the
+                // caller still waits for the cache-disk fill.
+                (w.end, r.end)
             }
             FetchMode::Prefetch => {
                 // Fill the line without booking the arm horizon (the
@@ -488,7 +520,7 @@ impl TioInner {
         end
     }
 
-    fn exec_copyout(&self, op: &DevOp, start: SimTime) -> SimTime {
+    fn exec_copyout(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
         let seg = op.seg.expect("copy-out targets a segment");
         let disk_seg = op.disk_seg.expect("copy-out got a line at dispatch");
         let Some((vol, slot)) = self.map.vol_slot(seg) else {
@@ -521,12 +553,14 @@ impl TioInner {
         self.iotrack.borrow_mut().admit(r);
 
         // Memory → tertiary, via Footprint.
-        match self.jukebox.write_segment(r.end, vol, slot, &buf) {
-            Ok(w) => {
+        match self.jukebox.write_segment_on(r.end, drive, vol, slot, &buf) {
+            Ok((w, used)) => {
                 self.phases
                     .borrow_mut()
                     .add(phase::FOOTPRINT_WRITE, w.duration());
-                self.iotrack.borrow_mut().admit(w);
+                self.iotrack
+                    .borrow_mut()
+                    .admit_on(w, hl_trace::Lane::Drive(used as u32));
                 self.cache.borrow_mut().set_state(seg, LineState::Clean);
                 {
                     let mut tseg = self.tseg.borrow_mut();
@@ -535,7 +569,7 @@ impl TioInner {
                     let v = tseg.volume_mut(vol);
                     v.next_slot = v.next_slot.max(slot + 1);
                 }
-                let end = self.write_replicas(w.end, seg, vol, &buf);
+                let end = self.write_replicas(w.end, drive, seg, vol, &buf);
                 self.queues
                     .borrow_mut()
                     .log(format!("io! copyout seg {seg} done t{end}"));
@@ -611,12 +645,15 @@ impl TioInner {
     /// immediate quarantine on hard media failures, failover across the
     /// remaining replica homes. Exhausting every copy yields
     /// [`HlError::SegmentUnavailable`] with the ordered fault trail.
+    /// `drive` is the requesting lane's home drive: already-loaded
+    /// volumes are read where they sit, fresh swaps land there.
     fn fetch_segment(
         &self,
         at: SimTime,
+        drive: usize,
         tert_seg: SegNo,
         buf: &mut [u8],
-    ) -> Result<(IoSlot, (u32, u32)), HlError> {
+    ) -> Result<(IoSlot, usize, (u32, u32)), HlError> {
         if self.replicas.borrow().homes(&self.map, tert_seg).is_empty() {
             // Not a mapped tertiary segment at all.
             return Err(HlError::Dev(DevError::Offline));
@@ -628,8 +665,8 @@ impl TioInner {
         for (i, &(vol, slot)) in homes.iter().enumerate() {
             let mut attempt = 0u32;
             loop {
-                match self.jukebox.read_segment(t, vol, slot, buf) {
-                    Ok(r) => return Ok((r, (vol, slot))),
+                match self.jukebox.read_segment_on(t, drive, vol, slot, buf) {
+                    Ok((r, used)) => return Ok((r, used, (vol, slot))),
                     Err(e @ DevError::MediaFailure) => {
                         self.fault_log.borrow_mut().push(FaultEvent::ReadFault {
                             at: t,
@@ -731,6 +768,7 @@ impl TioInner {
     fn write_replicas(
         &self,
         at: SimTime,
+        drive: usize,
         tert_seg: SegNo,
         primary_vol: u32,
         buf: &[u8],
@@ -758,8 +796,8 @@ impl TioInner {
                 v.next_slot += 1;
                 s
             };
-            match self.jukebox.write_segment(t, vol, slot, buf) {
-                Ok(w) => {
+            match self.jukebox.write_segment_on(t, drive, vol, slot, buf) {
+                Ok((w, _used)) => {
                     t = w.end;
                     self.phases
                         .borrow_mut()
@@ -793,7 +831,7 @@ impl TioInner {
     /// surviving (non-quarantined) copies, and writes fresh replicas
     /// until each segment again has `1 + replication` copies. Segments
     /// with no surviving copy are reported unrecoverable.
-    fn scrub_pass(&self, at: SimTime) -> ScrubReport {
+    fn scrub_pass(&self, at: SimTime, drive: usize) -> ScrubReport {
         let target = 1 + self.replicate.get();
         let mut segs: Vec<SegNo> = self
             .tseg
@@ -825,7 +863,8 @@ impl TioInner {
             let mut buf = vec![0u8; self.seg_bytes];
             let mut source = None;
             for &(vol, slot) in &homes {
-                if let Ok(r) = self.jukebox.read_segment(t, vol, slot, &mut buf) {
+                if let Ok((r, _used)) = self.jukebox.read_segment_on(t, drive, vol, slot, &mut buf)
+                {
                     source = Some((r, (vol, slot)));
                     break;
                 }
@@ -857,8 +896,8 @@ impl TioInner {
                     v.next_slot += 1;
                     s
                 };
-                match self.jukebox.write_segment(t, vol, slot, &buf) {
-                    Ok(w) => {
+                match self.jukebox.write_segment_on(t, drive, vol, slot, &buf) {
+                    Ok((w, _used)) => {
                         t = w.end;
                         self.phases
                             .borrow_mut()
@@ -1035,6 +1074,12 @@ impl TertiaryIo {
         self.inner.jukebox.clone()
     }
 
+    /// How many I/O-server lanes the engine runs (one per jukebox
+    /// drive, capped at [`MAX_DRIVES`]).
+    pub fn drives(&self) -> usize {
+        self.inner.jukebox.drives().clamp(1, MAX_DRIVES)
+    }
+
     /// The raw disk device beneath the block map.
     pub fn disks_handle(&self) -> Rc<dyn BlockDev> {
         self.inner.disks.clone()
@@ -1071,6 +1116,19 @@ impl TertiaryIo {
         st.wait_scrub = t.wait(hl_trace::Class::Scrub);
         st.reqq_hwm = t.queue_hwm(hl_trace::QueueId::Request);
         st.devq_hwm = t.queue_hwm(hl_trace::QueueId::Device);
+        {
+            let track = self.inner.iotrack.borrow();
+            for d in 0..MAX_DRIVES {
+                st.drive_ops[d] = track.drive_ops(d as u32);
+                st.drive_busy[d] = track.drive_busy(d as u32);
+            }
+            st.drive_peak = track.drive_peak() as u32;
+        }
+        {
+            let q = self.inner.queues.borrow();
+            st.affinity_hits = q.affinity_hits;
+            st.starvation_promotions = q.starvation_promotions;
+        }
         st
     }
 
@@ -1100,7 +1158,8 @@ impl TertiaryIo {
                 st.wait_scrub,
             ],
             self.io_peak_in_flight(),
-        );
+        )
+        .with_drive_lanes(self.inner.jukebox.drives().clamp(1, MAX_DRIVES));
         hl_trace::tracecheck(&self.inner.tracer, &expect)
     }
 
@@ -1285,13 +1344,14 @@ impl TertiaryIo {
 
     /// Moves the engine's actors onto an external scheduler, so they
     /// interleave with the caller's own actors (the Table 4/6 rigs).
-    /// Returns the (service-process, I/O-server) actor ids. After this,
-    /// the synchronous façades must not be used: completion is observed
-    /// by running the external scheduler and polling tickets.
-    pub fn attach_engine<W: 'static>(&self, sched: &mut Scheduler<W>) -> (ActorId, ActorId) {
+    /// Returns the service-process id and the I/O lane ids (one per
+    /// drive). After this, the synchronous façades must not be used:
+    /// completion is observed by running the external scheduler and
+    /// polling tickets.
+    pub fn attach_engine<W: 'static>(&self, sched: &mut Scheduler<W>) -> (ActorId, Vec<ActorId>) {
         sched.set_tracer(self.inner.tracer.clone());
         let handles = spawn_engine(&self.inner, sched);
-        let ids = (handles.svc, handles.io);
+        let ids = (handles.svc, handles.io.clone());
         *self.inner.handles.borrow_mut() = Some(handles);
         self.external.set(true);
         ids

@@ -242,11 +242,19 @@ impl Jukebox {
 
     /// Ensures `vol` is loaded in a drive, swapping if needed. Returns
     /// `(drive index, time the volume is ready)`.
+    ///
+    /// `target` is the I/O-server pool's drive hint: an already-loaded
+    /// volume is always served where it sits (so two lanes never move
+    /// the same platter), but a swap goes into the hinted drive instead
+    /// of the policy-picked one. The robot `Resource` serializes
+    /// concurrent swaps from different lanes — its busy horizon *is* the
+    /// reserve/release protocol, so no explicit locking is needed.
     fn ensure_loaded(
         inner: &mut Inner,
         at: SimTime,
         vol: VolumeId,
         writing: bool,
+        target: Option<usize>,
     ) -> Result<(usize, SimTime), DevError> {
         if vol >= inner.cfg.volumes {
             return Err(DevError::Offline);
@@ -256,32 +264,35 @@ impl Jukebox {
             inner.drives[d].last_used = at;
             return Ok((d, at));
         }
-        // Pick a drive.
-        let d = match inner.cfg.policy {
-            DrivePolicy::WriterPlusReaders => {
-                if writing || inner.drives.len() == 1 {
-                    0
-                } else {
-                    // Reader drives are 1..; evict the LRU among them.
+        // Pick a drive: the pool's explicit lane, or the policy's pick.
+        let d = match target {
+            Some(t) => t.min(inner.drives.len() - 1),
+            None => match inner.cfg.policy {
+                DrivePolicy::WriterPlusReaders => {
+                    if writing || inner.drives.len() == 1 {
+                        0
+                    } else {
+                        // Reader drives are 1..; evict the LRU among them.
+                        let (idx, _) = inner
+                            .drives
+                            .iter()
+                            .enumerate()
+                            .skip(1)
+                            .min_by_key(|(_, d)| (d.loaded.is_some(), d.last_used))
+                            .expect("at least one reader drive");
+                        idx
+                    }
+                }
+                DrivePolicy::AnyLru => {
                     let (idx, _) = inner
                         .drives
                         .iter()
                         .enumerate()
-                        .skip(1)
                         .min_by_key(|(_, d)| (d.loaded.is_some(), d.last_used))
-                        .expect("at least one reader drive");
+                        .expect("at least one drive");
                     idx
                 }
-            }
-            DrivePolicy::AnyLru => {
-                let (idx, _) = inner
-                    .drives
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, d)| (d.loaded.is_some(), d.last_used))
-                    .expect("at least one drive");
-                idx
-            }
+            },
         };
         // The swap needs the robot, the target drive, and (if attached)
         // hogs the bus for its whole duration. A fault plan may fail the
@@ -335,7 +346,8 @@ impl Jukebox {
         vol: VolumeId,
         seg: u32,
         writing: bool,
-    ) -> Result<IoSlot, DevError> {
+        target: Option<usize>,
+    ) -> Result<(IoSlot, usize), DevError> {
         let mut inner = self.inner.borrow_mut();
         let inner = &mut *inner;
         if seg >= inner.cfg.segments_per_volume {
@@ -362,7 +374,7 @@ impl Jukebox {
             Some(MediaFault::EarlyEom) => return Err(DevError::EndOfMedium { written: 0 }),
             None => {}
         }
-        let (d, ready) = Self::ensure_loaded(inner, at, vol, writing)?;
+        let (d, ready) = Self::ensure_loaded(inner, at, vol, writing, target)?;
         let (position, transfer) = Self::media_io_time(inner, d, seg, writing);
         let (start, positioned) = inner.drives[d].res.acquire(ready, position);
         let seg_bytes = inner.cfg.segment_bytes as u64;
@@ -386,7 +398,12 @@ impl Jukebox {
             inner.stats.reads += 1;
             inner.stats.bytes_read += inner.cfg.segment_bytes as u64;
         }
-        Ok(IoSlot { start, end })
+        Ok((IoSlot { start, end }, d))
+    }
+
+    /// When the named drive's `Resource` frees up (its busy horizon).
+    pub fn drive_free_at(&self, drive: usize) -> SimTime {
+        self.inner.borrow().drives[drive].res.free_at()
     }
 
     fn check_buf(&self, buf_len: usize) -> Result<(), DevError> {
@@ -436,13 +453,8 @@ impl Footprint for Jukebox {
         seg: u32,
         buf: &mut [u8],
     ) -> Result<IoSlot, DevError> {
-        self.check_buf(buf.len())?;
-        self.check_slot(vol, seg)?;
-        let slot = self.segment_io(at, vol, seg, false)?;
-        self.inner.borrow().volumes[vol as usize]
-            .data
-            .read(seg as u64, buf);
-        Ok(slot)
+        self.read_segment_on(at, usize::MAX, vol, seg, buf)
+            .map(|(slot, _)| slot)
     }
 
     fn write_segment(
@@ -452,6 +464,36 @@ impl Footprint for Jukebox {
         seg: u32,
         buf: &[u8],
     ) -> Result<IoSlot, DevError> {
+        self.write_segment_on(at, usize::MAX, vol, seg, buf)
+            .map(|(slot, _)| slot)
+    }
+
+    fn read_segment_on(
+        &self,
+        at: SimTime,
+        drive: usize,
+        vol: VolumeId,
+        seg: u32,
+        buf: &mut [u8],
+    ) -> Result<(IoSlot, usize), DevError> {
+        self.check_buf(buf.len())?;
+        self.check_slot(vol, seg)?;
+        let target = (drive != usize::MAX).then_some(drive);
+        let (slot, d) = self.segment_io(at, vol, seg, false, target)?;
+        self.inner.borrow().volumes[vol as usize]
+            .data
+            .read(seg as u64, buf);
+        Ok((slot, d))
+    }
+
+    fn write_segment_on(
+        &self,
+        at: SimTime,
+        drive: usize,
+        vol: VolumeId,
+        seg: u32,
+        buf: &[u8],
+    ) -> Result<(IoSlot, usize), DevError> {
         self.check_buf(buf.len())?;
         self.check_slot(vol, seg)?;
         {
@@ -466,12 +508,13 @@ impl Footprint for Jukebox {
                 return Err(DevError::EndOfMedium { written: 0 });
             }
         }
-        let slot = self.segment_io(at, vol, seg, true)?;
+        let target = (drive != usize::MAX).then_some(drive);
+        let (slot, d) = self.segment_io(at, vol, seg, true, target)?;
         let mut inner = self.inner.borrow_mut();
         let v = &mut inner.volumes[vol as usize];
         v.data.write(seg as u64, buf);
         v.written[seg as usize] = true;
-        Ok(slot)
+        Ok((slot, d))
     }
 
     fn peek_segment(&self, vol: VolumeId, seg: u32, buf: &mut [u8]) -> Result<(), DevError> {
@@ -521,6 +564,10 @@ impl Footprint for Jukebox {
             .collect()
     }
 
+    fn drives(&self) -> usize {
+        self.inner.borrow().drives.len()
+    }
+
     fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError> {
         self.erase_volume_inner(vol)
     }
@@ -533,6 +580,42 @@ mod tests {
 
     fn hp6300() -> Jukebox {
         Jukebox::new(JukeboxConfig::hp6300_paper(), None)
+    }
+
+    #[test]
+    fn targeted_reads_load_the_named_drive_unless_already_loaded() {
+        let jb = hp6300();
+        let mut buf = vec![0u8; jb.segment_bytes()];
+        jb.poke_segment(1, 0, &vec![7u8; 1 << 20]).unwrap();
+        jb.poke_segment(1, 1, &vec![8u8; 1 << 20]).unwrap();
+        // An explicit lane swaps the volume into that drive.
+        let (r1, d1) = jb.read_segment_on(0, 1, 1, 0, &mut buf).unwrap();
+        assert_eq!(d1, 1);
+        assert_eq!(jb.loaded_volumes()[1], Some(1));
+        // A different lane asking for the same volume is routed to the
+        // drive that already holds it: no second swap, no platter fight.
+        let (_, d2) = jb.read_segment_on(r1.end, 0, 1, 1, &mut buf).unwrap();
+        assert_eq!(d2, 1);
+        assert_eq!(jb.stats().swaps, 1);
+    }
+
+    #[test]
+    fn concurrent_lane_swaps_serialize_on_the_robot() {
+        let jb = hp6300();
+        let seg = vec![1u8; jb.segment_bytes()];
+        jb.poke_segment(2, 0, &seg).unwrap();
+        // Two lanes demand swaps at the same instant: the robot arm is a
+        // single serialized resource, so the second swap starts only
+        // after the first finishes.
+        let (w, dw) = jb.write_segment_on(0, 0, 1, 0, &seg).unwrap();
+        let (r, dr) = jb.read_segment_on(0, 1, 2, 0, &mut vec![0u8; 1 << 20]).unwrap();
+        assert_eq!((dw, dr), (0, 1));
+        assert_eq!(jb.stats().swaps, 2);
+        let swap = jb.volume_change_time();
+        // Both ops carry their own swap; the later one also waited for
+        // the robot to release the first platter.
+        assert!(w.end >= swap);
+        assert!(r.end >= 2 * swap, "robot not serialized: {} < {}", r.end, 2 * swap);
     }
 
     #[test]

@@ -87,6 +87,43 @@ pub trait Footprint {
     /// Returns the volume currently loaded in each drive (`None` = empty).
     fn loaded_volumes(&self) -> Vec<Option<VolumeId>>;
 
+    /// Number of drives in the device (the I/O-server pool spawns one
+    /// actor per drive).
+    fn drives(&self) -> usize {
+        self.loaded_volumes().len()
+    }
+
+    /// Timed whole-segment read targeted at a drive: if `vol` is already
+    /// loaded somewhere the loaded drive serves the read (no media
+    /// movement); otherwise the robot swaps it into `drive`. Returns the
+    /// slot and the drive that actually performed the transfer. The
+    /// default ignores the target (single-lane devices).
+    fn read_segment_on(
+        &self,
+        at: SimTime,
+        drive: usize,
+        vol: VolumeId,
+        seg: u32,
+        buf: &mut [u8],
+    ) -> Result<(IoSlot, usize), DevError> {
+        let _ = drive;
+        self.read_segment(at, vol, seg, buf).map(|s| (s, 0))
+    }
+
+    /// Timed whole-segment write targeted at a drive; same drive-routing
+    /// rule and return convention as [`Footprint::read_segment_on`].
+    fn write_segment_on(
+        &self,
+        at: SimTime,
+        drive: usize,
+        vol: VolumeId,
+        seg: u32,
+        buf: &[u8],
+    ) -> Result<(IoSlot, usize), DevError> {
+        let _ = drive;
+        self.write_segment(at, vol, seg, buf).map(|s| (s, 0))
+    }
+
     /// Erases a volume so its slots may be rewritten (tertiary cleaning,
     /// §10). Fails on write-once media.
     fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError>;

@@ -57,6 +57,22 @@ impl Waker {
     pub fn wake(&self, id: ActorId, at: SimTime) {
         self.inbox.borrow_mut().push((id, at));
     }
+
+    /// Wakes every actor in `ids` at virtual time `at` (wake-all).
+    ///
+    /// This is the I/O-server pool's dispatch policy: work pushed onto a
+    /// shared queue wakes every lane, each lane takes what its scheduling
+    /// rules allow, and lanes with nothing eligible simply re-park. The
+    /// alternative — wake-one targeted at the "best" lane — saves a few
+    /// no-op steps but forces the producer to reimplement the scheduler's
+    /// eligibility rules; wake-all keeps dispatch decisions in exactly
+    /// one place and stays deterministic (wakes are drained in order).
+    pub fn wake_many(&self, ids: &[ActorId], at: SimTime) {
+        let mut inbox = self.inbox.borrow_mut();
+        for &id in ids {
+            inbox.push((id, at));
+        }
+    }
 }
 
 /// A cooperatively scheduled activity over a shared world `W`.

@@ -23,10 +23,15 @@
 //!    the time of the join (a live parent op).
 //! 5. **Device concurrency** — the peak overlap recomputed from `DevIo`
 //!    intervals does not exceed the admitted concurrency.
+//! 6. **Per-drive serialization** — when the drive-lane count is given,
+//!    intervals on one drive lane never overlap (a physical drive does
+//!    one transfer at a time; a back-to-back handoff at the same instant
+//!    is legal), no drive lane beyond the configured count appears, and
+//!    the number of simultaneously busy drive lanes never exceeds it.
 
 use std::collections::BTreeMap;
 
-use crate::{Class, Event, EventKind, LineTag, TraceTime, Tracer};
+use crate::{Class, Event, EventKind, Lane, LineTag, TraceTime, Tracer};
 
 /// External truths the trace is checked against.
 #[derive(Clone, Debug, Default)]
@@ -38,6 +43,12 @@ pub struct Expectations {
     /// The device tracker's admitted peak concurrency. `None` skips the
     /// overlap check.
     pub max_dev_overlap: Option<usize>,
+    /// Number of jukebox drive lanes the engine ran with. `Some(n)`
+    /// tightens the overlap invariant: per-drive intervals must never
+    /// overlap, no `Lane::Drive(d)` with `d >= n` may appear, and at most
+    /// `n` drive lanes may be busy at once. `None` skips the per-drive
+    /// checks.
+    pub drive_lanes: Option<usize>,
     /// Require every span to be closed by the end of the trace (set
     /// `false` when checking mid-flight).
     pub require_all_closed: bool,
@@ -50,8 +61,16 @@ impl Expectations {
         Expectations {
             wait: Some(wait),
             max_dev_overlap: Some(peak),
+            drive_lanes: None,
             require_all_closed: true,
         }
+    }
+
+    /// Enables the tightened per-drive invariant for an engine that ran
+    /// with `n` drive lanes.
+    pub fn with_drive_lanes(mut self, n: usize) -> Expectations {
+        self.drive_lanes = Some(n);
+        self
     }
 }
 
@@ -131,6 +150,37 @@ fn peak_overlap(intervals: &[(TraceTime, TraceTime)]) -> usize {
     peak
 }
 
+/// Peak overlap under *strict* half-open `[start, end)` semantics: an op
+/// starting exactly when another ends does not overlap it (that is a
+/// legal back-to-back handoff on a physical drive), and zero-duration
+/// ops occupy nothing. Used for the per-drive invariant, where handoffs
+/// at the same instant are the normal case.
+fn peak_overlap_strict(intervals: &[(TraceTime, TraceTime)]) -> usize {
+    let mut starts: Vec<TraceTime> = Vec::new();
+    let mut ends: Vec<TraceTime> = Vec::new();
+    for &(s, e) in intervals {
+        if e > s {
+            starts.push(s);
+            ends.push(e);
+        }
+    }
+    starts.sort_unstable();
+    ends.sort_unstable();
+    let (mut si, mut ei) = (0usize, 0usize);
+    let (mut cur, mut peak) = (0usize, 0usize);
+    while si < starts.len() {
+        if starts[si] < ends[ei] {
+            cur += 1;
+            peak = peak.max(cur);
+            si += 1;
+        } else {
+            cur -= 1;
+            ei += 1;
+        }
+    }
+    peak
+}
+
 /// Replays the tracer's retained events and returns every invariant
 /// violation found (empty = the trace is consistent).
 ///
@@ -156,8 +206,8 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
     let mut lines: BTreeMap<u64, LineTag> = BTreeMap::new();
     // Queue residency recomputed per class.
     let mut wait = [0u64; 5];
-    // Device intervals.
-    let mut devops: Vec<(TraceTime, TraceTime)> = Vec::new();
+    // Device intervals, with the lane each occupied.
+    let mut devops: Vec<(Lane, TraceTime, TraceTime)> = Vec::new();
 
     for ev in &events {
         check_event(ev, &mut findings, &mut open, &mut ever_opened, &mut ever_closed, &mut lines, &mut wait, &mut devops);
@@ -187,10 +237,42 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
         }
     }
     if let Some(max) = expect.max_dev_overlap {
-        let peak = peak_overlap(&devops);
+        let all: Vec<(TraceTime, TraceTime)> = devops.iter().map(|&(_, s, e)| (s, e)).collect();
+        let peak = peak_overlap(&all);
         if peak > max {
             findings.push(whole(format!(
                 "device ops overlap beyond admitted concurrency: trace peak {peak} > admitted {max}"
+            )));
+        }
+    }
+    if let Some(drives) = expect.drive_lanes {
+        let mut per_drive: BTreeMap<u32, Vec<(TraceTime, TraceTime)>> = BTreeMap::new();
+        for &(lane, s, e) in &devops {
+            if let Lane::Drive(d) = lane {
+                if (d as usize) >= drives {
+                    findings.push(whole(format!(
+                        "device op on drive lane d{d}, but the engine ran with {drives} drive(s)"
+                    )));
+                }
+                per_drive.entry(d).or_default().push((s, e));
+            }
+        }
+        for (d, ivals) in &per_drive {
+            let peak = peak_overlap_strict(ivals);
+            if peak > 1 {
+                findings.push(whole(format!(
+                    "drive d{d} ran {peak} ops at once: per-drive intervals must never overlap"
+                )));
+            }
+        }
+        let drive_all: Vec<(TraceTime, TraceTime)> = per_drive
+            .values()
+            .flat_map(|v| v.iter().copied())
+            .collect();
+        let peak = peak_overlap_strict(&drive_all);
+        if peak > drives {
+            findings.push(whole(format!(
+                "{peak} drive-lane ops in flight at once, but the engine ran with {drives} drive(s)"
             )));
         }
     }
@@ -206,7 +288,7 @@ fn check_event(
     ever_closed: &mut BTreeMap<u64, u64>,
     lines: &mut BTreeMap<u64, LineTag>,
     wait: &mut [u64; 5],
-    devops: &mut Vec<(TraceTime, TraceTime)>,
+    devops: &mut Vec<(Lane, TraceTime, TraceTime)>,
 ) {
     let mut fail = |msg: String| {
         findings.push(Finding {
@@ -285,11 +367,11 @@ fn check_event(
             }
             None => fail(format!("rekey of {old}>{new}: no line tracked for {old}")),
         },
-        EventKind::DevIo { start, end } => {
+        EventKind::DevIo { lane, start, end } => {
             if end < start {
                 fail(format!("device op runs backwards: {start}..{end}"));
             }
-            devops.push((*start, *end));
+            devops.push((*lane, *start, *end));
         }
         EventKind::Park { .. }
         | EventKind::Wake { .. }
@@ -310,7 +392,7 @@ mod tests {
         t.queue_depth(0, QueueId::Request, 1);
         t.queuing(2_000, s, Class::Demand, 0, 2_000);
         t.cache_state(2_000, 4, LineTag::Empty, LineTag::Filling);
-        t.dev_io(2_000, 10_000);
+        t.dev_io(Lane::Drive(0), 2_000, 10_000);
         t.cache_state(10_000, 4, LineTag::Filling, LineTag::Clean);
         t.close_span(10_000, s, true);
         let f = tracecheck(&t, &Expectations::quiesced([2_000, 0, 0, 0, 0], 1));
@@ -403,9 +485,9 @@ mod tests {
     #[test]
     fn excess_device_overlap_is_a_finding() {
         let t = Tracer::new();
-        t.dev_io(0, 100);
-        t.dev_io(50, 150);
-        t.dev_io(60, 160);
+        t.dev_io(Lane::Drive(0), 0, 100);
+        t.dev_io(Lane::Drive(1), 50, 150);
+        t.dev_io(Lane::Staging, 60, 160);
         let f = tracecheck(
             &t,
             &Expectations {
@@ -415,6 +497,41 @@ mod tests {
         );
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("trace peak 3 > admitted 2"));
+    }
+
+    #[test]
+    fn same_drive_overlap_is_a_finding_but_handoffs_are_not() {
+        let t = Tracer::new();
+        // Overlapping ops on d0; a back-to-back handoff on d1 is legal.
+        t.dev_io(Lane::Drive(0), 0, 100);
+        t.dev_io(Lane::Drive(0), 90, 150);
+        t.dev_io(Lane::Drive(1), 0, 50);
+        t.dev_io(Lane::Drive(1), 50, 80);
+        let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("drive d0 ran 2 ops at once"));
+    }
+
+    #[test]
+    fn drive_lane_beyond_the_pool_is_a_finding() {
+        let t = Tracer::new();
+        t.dev_io(Lane::Drive(3), 0, 10);
+        let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("drive lane d3"));
+    }
+
+    #[test]
+    fn staging_lane_is_exempt_from_the_drive_bound() {
+        let t = Tracer::new();
+        // Two drives busy plus concurrent staging traffic: clean under
+        // the tightened invariant (the disk arm serializes staging in
+        // simulated time; the drive bound only counts drive lanes).
+        t.dev_io(Lane::Drive(0), 0, 100);
+        t.dev_io(Lane::Drive(1), 10, 90);
+        t.dev_io(Lane::Staging, 20, 80);
+        let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

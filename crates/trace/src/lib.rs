@@ -110,6 +110,33 @@ impl LineTag {
     }
 }
 
+/// Which physical device lane a [`EventKind::DevIo`] interval occupied.
+///
+/// Jukebox media transfers are tagged with the drive that performed
+/// them; disk-farm-side staging traffic (cache fills, copy-out staging
+/// reads) rides the dedicated staging lane. The tightened tracecheck
+/// invariant is per-lane: intervals on one drive lane must never
+/// overlap, and at most `#drives` drive-lane intervals may be in flight
+/// at once (the staging lane is exempt — the disk's own arm serializes
+/// it in simulated time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Lane {
+    /// A jukebox drive, by index.
+    Drive(u32),
+    /// The disk-farm staging lane.
+    Staging,
+}
+
+impl Lane {
+    /// Short label used by renders (`d0`, `d1`, …, `st`).
+    pub fn label(self) -> String {
+        match self {
+            Lane::Drive(d) => format!("d{d}"),
+            Lane::Staging => "st".to_string(),
+        }
+    }
+}
+
 /// The engine's two bounded queues.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum QueueId {
@@ -201,6 +228,8 @@ pub enum EventKind {
     },
     /// A device operation interval the I/O server admitted.
     DevIo {
+        /// The drive (or staging) lane the op occupied.
+        lane: Lane,
         /// Op start.
         start: TraceTime,
         /// Op end.
@@ -267,7 +296,9 @@ impl Event {
                 format!("line {seg} {}>{}", from.label(), to.label())
             }
             EventKind::CacheRekey { old, new } => format!("rekey {old}>{new}"),
-            EventKind::DevIo { start, end } => format!("dev {start}..{end}"),
+            EventKind::DevIo { lane, start, end } => {
+                format!("dev {} {start}..{end}", lane.label())
+            }
             EventKind::Park { actor } => format!("park {actor}"),
             EventKind::Wake { actor } => format!("wake {actor}"),
             EventKind::Fault { label } => format!("fault {label}"),
@@ -315,8 +346,11 @@ impl Event {
             EventKind::CacheRekey { old, new } => {
                 format!("\"ev\":\"cache_rekey\",\"old\":{old},\"new\":{new}")
             }
-            EventKind::DevIo { start, end } => {
-                format!("\"ev\":\"dev_io\",\"start\":{start},\"end\":{end}")
+            EventKind::DevIo { lane, start, end } => {
+                format!(
+                    "\"ev\":\"dev_io\",\"lane\":\"{}\",\"start\":{start},\"end\":{end}",
+                    lane.label()
+                )
             }
             EventKind::Park { actor } => format!("\"ev\":\"park\",\"actor\":\"{}\"", esc(actor)),
             EventKind::Wake { actor } => format!("\"ev\":\"wake\",\"actor\":\"{}\"", esc(actor)),
@@ -540,11 +574,11 @@ impl Tracer {
             .emit(at, EventKind::CacheRekey { old, new });
     }
 
-    /// Records an admitted device-op interval.
-    pub fn dev_io(&self, start: TraceTime, end: TraceTime) {
+    /// Records an admitted device-op interval on `lane`.
+    pub fn dev_io(&self, lane: Lane, start: TraceTime, end: TraceTime) {
         self.rec
             .borrow_mut()
-            .emit(start, EventKind::DevIo { start, end });
+            .emit(start, EventKind::DevIo { lane, start, end });
     }
 
     /// Records an actor parking.

@@ -8,7 +8,10 @@
 //! busy time, so the service engine can report genuine device-queue depth
 //! instead of inferring it from phase arithmetic.
 
+use std::collections::BTreeMap;
+
 use hl_sim::time::SimTime;
+use hl_trace::Lane;
 
 use crate::blockdev::IoSlot;
 
@@ -19,13 +22,18 @@ use crate::blockdev::IoSlot;
 /// be admitted out of order (coalesced completions, retried operations).
 #[derive(Debug, Default)]
 pub struct IoTracker {
-    /// Every admitted interval, in admission order.
-    slots: Vec<IoSlot>,
+    /// Every admitted interval with its lane, in admission order.
+    slots: Vec<(IoSlot, Lane)>,
     /// Total admitted operations (identical to `slots.len()` but kept as a
     /// counter so [`reset`](Self::reset) can preserve lifetime totals).
     total_ops: u64,
     /// Sum of slot durations (device busy time, counting overlap twice).
     busy: SimTime,
+    /// Lifetime per-drive-lane op counts (key = drive index), surviving
+    /// interval resets like `total_ops`.
+    drive_ops: BTreeMap<u32, u64>,
+    /// Lifetime per-drive-lane busy time.
+    drive_busy: BTreeMap<u32, SimTime>,
     /// Optional trace recorder: every admitted interval is emitted into
     /// it, so the trace can recompute (and cross-check) the overlap peak.
     tracer: Option<hl_trace::Tracer>,
@@ -42,14 +50,24 @@ impl IoTracker {
         self.tracer = Some(tracer);
     }
 
-    /// Records a granted operation slot.
+    /// Records a granted operation slot on the staging lane (disk-farm
+    /// traffic, which the disk's own arm serializes).
     pub fn admit(&mut self, slot: IoSlot) {
+        self.admit_on(slot, Lane::Staging);
+    }
+
+    /// Records a granted operation slot on an explicit device lane.
+    pub fn admit_on(&mut self, slot: IoSlot, lane: Lane) {
         self.busy += slot.duration();
         self.total_ops += 1;
-        if let Some(t) = &self.tracer {
-            t.dev_io(slot.start, slot.end);
+        if let Lane::Drive(d) = lane {
+            *self.drive_ops.entry(d).or_insert(0) += 1;
+            *self.drive_busy.entry(d).or_insert(0) += slot.duration();
         }
-        self.slots.push(slot);
+        if let Some(t) = &self.tracer {
+            t.dev_io(lane, slot.start, slot.end);
+        }
+        self.slots.push((slot, lane));
     }
 
     /// Operations admitted over the tracker's lifetime.
@@ -74,10 +92,55 @@ impl IoTracker {
         if self.slots.is_empty() {
             return 0;
         }
-        let mut starts: Vec<SimTime> = self.slots.iter().map(|s| s.start).collect();
+        let mut starts: Vec<SimTime> = self.slots.iter().map(|(s, _)| s.start).collect();
         // `end + 1` so zero-duration slots occupy their instant and
         // back-to-back handoffs at equal times register as overlap.
-        let mut ends: Vec<SimTime> = self.slots.iter().map(|s| s.end.saturating_add(1)).collect();
+        let mut ends: Vec<SimTime> = self
+            .slots
+            .iter()
+            .map(|(s, _)| s.end.saturating_add(1))
+            .collect();
+        starts.sort_unstable();
+        ends.sort_unstable();
+        let (mut si, mut ei) = (0usize, 0usize);
+        let (mut cur, mut peak) = (0usize, 0usize);
+        while si < starts.len() {
+            if starts[si] < ends[ei] {
+                cur += 1;
+                peak = peak.max(cur);
+                si += 1;
+            } else {
+                cur -= 1;
+                ei += 1;
+            }
+        }
+        peak
+    }
+
+    /// Lifetime operations admitted on drive lane `d`.
+    pub fn drive_ops(&self, d: u32) -> u64 {
+        self.drive_ops.get(&d).copied().unwrap_or(0)
+    }
+
+    /// Lifetime busy time admitted on drive lane `d`.
+    pub fn drive_busy(&self, d: u32) -> SimTime {
+        self.drive_busy.get(&d).copied().unwrap_or(0)
+    }
+
+    /// The largest number of *drive-lane* ops simultaneously in flight,
+    /// under strict half-open `[start, end)` semantics: a drive handing
+    /// off from one op to the next at the same instant does not count as
+    /// two. This is the concurrency the multi-drive pool actually
+    /// achieved (the staging lane is excluded).
+    pub fn drive_peak(&self) -> usize {
+        let mut starts: Vec<SimTime> = Vec::new();
+        let mut ends: Vec<SimTime> = Vec::new();
+        for (s, lane) in &self.slots {
+            if matches!(lane, Lane::Drive(_)) && s.end > s.start {
+                starts.push(s.start);
+                ends.push(s.end);
+            }
+        }
         starts.sort_unstable();
         ends.sort_unstable();
         let (mut si, mut ei) = (0usize, 0usize);
@@ -170,5 +233,35 @@ mod tests {
         assert_eq!(t.ops(), 1);
         assert_eq!(t.busy_time(), 10);
         assert_eq!(t.peak_in_flight(), 0);
+    }
+
+    #[test]
+    fn drive_lanes_accumulate_separately() {
+        let mut t = IoTracker::new();
+        t.admit_on(slot(0, 10), Lane::Drive(0));
+        t.admit_on(slot(5, 25), Lane::Drive(1));
+        t.admit(slot(0, 100)); // staging traffic
+        assert_eq!(t.ops(), 3);
+        assert_eq!(t.drive_ops(0), 1);
+        assert_eq!(t.drive_ops(1), 1);
+        assert_eq!(t.drive_busy(1), 20);
+        assert_eq!(t.drive_ops(7), 0);
+        // Two drives overlap 5..10; the staging op is excluded.
+        assert_eq!(t.drive_peak(), 2);
+        assert_eq!(t.peak_in_flight(), 3);
+        t.reset_intervals();
+        assert_eq!(t.drive_ops(0), 1, "lifetime per-drive counts survive");
+        assert_eq!(t.drive_peak(), 0);
+    }
+
+    #[test]
+    fn drive_peak_uses_strict_handoff_semantics() {
+        let mut t = IoTracker::new();
+        t.admit_on(slot(0, 10), Lane::Drive(0));
+        t.admit_on(slot(10, 20), Lane::Drive(0));
+        // Same instants through the inclusive sweep would be 2; the
+        // strict per-drive sweep sees a legal handoff.
+        assert_eq!(t.drive_peak(), 1);
+        assert_eq!(t.peak_in_flight(), 2);
     }
 }

@@ -1,0 +1,218 @@
+//! Multi-drive I/O-server pool integration tests: demand fetches to
+//! different volumes overlap when the jukebox has two drives and
+//! serialize when it has one; the volume-affinity scheduler batches
+//! same-platter ops per media swap; the starvation guard bounds how
+//! long a bypassed op waits behind an affinity batch; and the pool's
+//! schedule stays byte-deterministic per seed. Every scenario also runs
+//! the tracecheck engine, which now enforces the tightened per-drive
+//! invariant (ops on one drive lane never overlap; concurrency across
+//! lanes is bounded by the drive count).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use highlight::{EjectPolicy, SegCache, TertiaryIo, TsegTable, UniformMap};
+use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+use hl_sim::Scheduler;
+use hl_vdev::{Disk, DiskProfile};
+
+/// 64 disk segments, 4 volumes × 8 slots, 1 MB segments, `drives`
+/// jukebox drives, and a roomy cache.
+fn rig(drives: usize) -> (TertiaryIo, Jukebox, UniformMap) {
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            drives,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (40..52).collect(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg);
+    (tio, jb, map)
+}
+
+fn assert_clean(tio: &TertiaryIo) {
+    let findings = tio.trace_findings();
+    assert!(
+        findings.is_empty(),
+        "tracecheck findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// Primes volumes 0 and 1 into the drive pool, then issues two demand
+/// fetches of *different* volumes together. Returns the concurrent
+/// phase's wall-clock, the per-drive busy peak, and the engine.
+fn concurrent_fetch_run(drives: usize) -> (u64, u32, TertiaryIo) {
+    let (tio, jb, map) = rig(drives);
+    for vol in 0..2 {
+        for slot in 0..2 {
+            jb.poke_segment(vol, slot, &vec![vol as u8 + 1; 1 << 20])
+                .unwrap();
+        }
+    }
+    // Prime: swap each platter into a drive (with two drives they land
+    // on different lanes; with one they ping-pong through the solo
+    // drive, which ends holding volume 1).
+    let pa = tio.enqueue_demand(0, map.tert_seg(0, 0));
+    let pb = tio.enqueue_demand(0, map.tert_seg(1, 0));
+    tio.pump();
+    let (_, ra) = pa.fetch_result().unwrap();
+    let (_, rb) = pb.fetch_result().unwrap();
+    let t0 = ra.max(rb);
+    // The measured phase: both platters resident, two fresh segments.
+    let a = tio.enqueue_demand(t0, map.tert_seg(0, 1));
+    let b = tio.enqueue_demand(t0, map.tert_seg(1, 1));
+    tio.pump();
+    let (_, ra) = a.fetch_result().unwrap();
+    let (_, rb) = b.fetch_result().unwrap();
+    let peak = tio.stats().drive_peak;
+    (ra.max(rb) - t0, peak, tio)
+}
+
+#[test]
+fn concurrent_fetches_overlap_with_two_drives_and_serialize_with_one() {
+    let (dur1, peak1, tio1) = concurrent_fetch_run(1);
+    let (dur2, peak2, tio2) = concurrent_fetch_run(2);
+    // One drive: the second fetch needs the platter the solo drive
+    // doesn't hold — a swap — and the lane's intervals never overlap.
+    assert_eq!(peak1, 1, "solo drive must serialize its media reads");
+    // Two drives: affinity routes each fetch to the lane holding its
+    // platter, and the two media reads run at the same time.
+    assert_eq!(peak2, 2, "two lanes should be busy at once");
+    assert!(
+        dur2 < dur1,
+        "2-drive wall-clock t{dur2} should beat 1-drive t{dur1}"
+    );
+    let st = tio2.stats();
+    assert!(st.drive_ops[0] > 0, "writer lane served a fetch");
+    assert!(st.drive_ops[1] > 0, "reader lane served a fetch");
+    assert_clean(&tio1);
+    assert_clean(&tio2);
+}
+
+/// Interleaved prefetches A,B,A,B,A,B on a solo drive: the affinity
+/// scheduler reorders the drain into two per-volume batches, so the
+/// robot swaps twice instead of six times.
+#[test]
+fn volume_affinity_batches_ops_per_swap() {
+    let (tio, jb, map) = rig(1);
+    for slot in 0..3 {
+        jb.poke_segment(0, slot, &vec![3u8; 1 << 20]).unwrap();
+        jb.poke_segment(1, slot, &vec![4u8; 1 << 20]).unwrap();
+    }
+    let tickets: Vec<_> = (0..3)
+        .flat_map(|slot| {
+            [
+                tio.enqueue_prefetch(0, map.tert_seg(0, slot)),
+                tio.enqueue_prefetch(0, map.tert_seg(1, slot)),
+            ]
+        })
+        .collect();
+    tio.pump();
+    for t in tickets {
+        t.fetch_result().unwrap();
+    }
+    assert_eq!(
+        jb.stats().swaps,
+        2,
+        "six interleaved prefetches across two platters should cost two swaps"
+    );
+    let st = tio.stats();
+    assert_eq!(st.affinity_hits, 4, "two ops per batch rode the loaded platter");
+    assert_eq!(st.starvation_promotions, 0, "no op aged past the bound");
+    assert_clean(&tio);
+}
+
+/// A demand fetch of volume B that arrives *before* a burst of volume-A
+/// prefetches is bypassed by affinity picks — but only
+/// `AFFINITY_BOUND` times, after which the starvation guard promotes
+/// it ahead of the rest of the batch.
+#[test]
+fn starvation_guard_bounds_demand_wait_behind_an_affinity_batch() {
+    let (tio, jb, map) = rig(1);
+    for slot in 0..7 {
+        jb.poke_segment(0, slot, &vec![5u8; 1 << 20]).unwrap();
+    }
+    jb.poke_segment(1, 0, &vec![6u8; 1 << 20]).unwrap();
+
+    let mut sched: Scheduler<()> = Scheduler::new();
+    tio.attach_engine(&mut sched);
+    // Prime: one volume-A prefetch keeps the lane busy (swap + read)
+    // while everything below enters the device queue behind it.
+    let prime = tio.enqueue_prefetch(0, map.tert_seg(0, 0));
+    // The demand for volume B arrives first...
+    let demand = tio.enqueue_demand(100_000, map.tert_seg(1, 0));
+    // ...then a burst of volume-A prefetches that affinity will prefer.
+    let burst: Vec<_> = (1..7)
+        .map(|slot| tio.enqueue_prefetch(200_000, map.tert_seg(0, slot)))
+        .collect();
+    sched.run(&mut ());
+
+    prime.fetch_result().unwrap();
+    let (_, demand_ready) = demand.fetch_result().unwrap();
+    let last_prefetch = burst
+        .iter()
+        .map(|t| t.fetch_result().unwrap().1)
+        .max()
+        .unwrap();
+    let st = tio.stats();
+    assert_eq!(
+        st.starvation_promotions, 1,
+        "the bypassed demand must be promoted exactly once"
+    );
+    assert!(
+        demand_ready < last_prefetch,
+        "promoted demand (t{demand_ready}) must not drain the whole batch \
+         (last prefetch t{last_prefetch})"
+    );
+    assert_clean(&tio);
+}
+
+/// The pool's schedule — lane assignment, affinity picks, robot
+/// serialization — is part of the engine's determinism contract: two
+/// runs of the same scenario produce byte-identical transcripts and
+/// equal trace digests.
+#[test]
+fn pool_schedule_is_byte_deterministic_per_seed() {
+    let run = || {
+        let (tio, jb, map) = rig(2);
+        for slot in 0..3 {
+            jb.poke_segment(0, slot, &vec![7u8; 1 << 20]).unwrap();
+            jb.poke_segment(1, slot, &vec![8u8; 1 << 20]).unwrap();
+        }
+        let mut tickets = vec![
+            tio.enqueue_demand(0, map.tert_seg(0, 0)),
+            tio.enqueue_demand(0, map.tert_seg(1, 0)),
+        ];
+        for slot in 1..3 {
+            tickets.push(tio.enqueue_prefetch(1_000, map.tert_seg(0, slot)));
+            tickets.push(tio.enqueue_prefetch(1_000, map.tert_seg(1, slot)));
+        }
+        tio.pump();
+        for t in tickets {
+            t.fetch_result().unwrap();
+        }
+        assert_clean(&tio);
+        let (lines, dropped) = tio.transcript();
+        assert_eq!(dropped, 0);
+        (lines, tio.transcript_digest(), tio.trace_digest())
+    };
+    let (la, ta, da) = run();
+    let (lb, tb, db) = run();
+    assert_eq!(la, lb, "transcripts diverged between identical runs");
+    assert_eq!(ta, tb, "transcript digests diverged");
+    assert_eq!(da, db, "trace digests diverged");
+}

@@ -71,11 +71,14 @@ fn scripted_run_replays_byte_identical_per_seed() {
 
 /// The pinned rendering. Reading it top to bottom: the migrator fills
 /// a staging line and seals it (`empty>staging>dirtywait`), the sealed
-/// segment copies out (span 0: wake the service process, dispatch to
-/// the I/O server, disk gather read then Footprint write, line goes
-/// `dirtywait>clean`), the eject discards the line (span 1), and the
-/// read after `drop_caches` demand-fetches it back (span 2:
-/// `empty>filling`, media read, disk write, `filling>clean`).
+/// segment copies out (span 0: wake every I/O lane — the paper jukebox
+/// has two drives — the idle reader lane `d1` re-parks, the writer lane
+/// `d0` takes the op: staging-lane gather read `dev st`, Footprint
+/// write `dev d0`, line goes `dirtywait>clean`), the eject discards the
+/// line (span 1), and the read after `drop_caches` demand-fetches it
+/// back (span 2: `empty>filling`, media read on `d0` — the platter is
+/// still loaded there — then the staging-lane cache fill; the drive
+/// parks at the media read's end while the fill completes the span).
 const GOLDEN: &str = "\
 #000000 t550466 line 16777211 empty>staging
 #000001 t550466 line 16777211 staging>dirtywait
@@ -83,40 +86,44 @@ const GOLDEN: &str = "\
 #000003 t648113 qdep reqq 1
 #000004 t648113 wake service-process
 #000005 t650113 qdep devq 1
-#000006 t650113 wake io-server
-#000007 t650113 park service-process
-#000008 t650113 qres 0 copyout 648113..650113
-#000009 t650113 dev 650113..1387093
-#000010 t14887093 dev 14887093..19908701
-#000011 t550466 line 16777211 dirtywait>clean
-#000012 t19908701 s- 0 ok
-#000013 t650113 wake service-process
-#000014 t650113 park service-process
-#000015 t19908701 park io-server
-#000016 t648113 s+ 1 eject seg 16777211
-#000017 t648113 qdep reqq 1
-#000018 t648113 wake service-process
-#000019 t550466 line 16777211 clean>empty
-#000020 t648113 qres 1 eject 648113..648113
-#000021 t648113 s- 1 ok
-#000022 t650113 park service-process
-#000023 t19960501 s+ 2 demand seg 16777211
-#000024 t19960501 qdep reqq 1
-#000025 t19960501 wake service-process
-#000026 t19960501 line 16777211 empty>filling
-#000027 t19962501 qdep devq 1
-#000028 t19962501 wake io-server
-#000029 t19962501 park service-process
-#000030 t19962501 qres 2 demand 19960501..19962501
-#000031 t19962501 dev 19962501..22317511
-#000032 t22317511 dev 22317511..23375628
-#000033 t19960501 line 16777211 filling>clean
-#000034 t23375628 s- 2 ok
-#000035 t19962501 wake service-process
-#000036 t19962501 park service-process
-#000037 t23375628 park io-server";
+#000006 t650113 wake io-server-d0
+#000007 t650113 wake io-server-d1
+#000008 t650113 park service-process
+#000009 t650113 park io-server-d1
+#000010 t650113 qres 0 copyout 648113..650113
+#000011 t650113 dev st 650113..1387093
+#000012 t14887093 dev d0 14887093..19908701
+#000013 t550466 line 16777211 dirtywait>clean
+#000014 t19908701 s- 0 ok
+#000015 t650113 wake service-process
+#000016 t650113 park service-process
+#000017 t19908701 park io-server-d0
+#000018 t648113 s+ 1 eject seg 16777211
+#000019 t648113 qdep reqq 1
+#000020 t648113 wake service-process
+#000021 t550466 line 16777211 clean>empty
+#000022 t648113 qres 1 eject 648113..648113
+#000023 t648113 s- 1 ok
+#000024 t650113 park service-process
+#000025 t19960501 s+ 2 demand seg 16777211
+#000026 t19960501 qdep reqq 1
+#000027 t19960501 wake service-process
+#000028 t19960501 line 16777211 empty>filling
+#000029 t19962501 qdep devq 1
+#000030 t19962501 wake io-server-d0
+#000031 t19962501 wake io-server-d1
+#000032 t19962501 park service-process
+#000033 t19962501 park io-server-d1
+#000034 t19962501 qres 2 demand 19960501..19962501
+#000035 t19962501 dev d0 19962501..22317511
+#000036 t22317511 dev st 22317511..23375628
+#000037 t19960501 line 16777211 filling>clean
+#000038 t23375628 s- 2 ok
+#000039 t19962501 wake service-process
+#000040 t19962501 park service-process
+#000041 t22317511 park io-server-d0";
 
-const GOLDEN_DIGEST: u64 = 0x8160_6501_c5eb_6f9f;
+const GOLDEN_DIGEST: u64 = 0xf16b_41d9_66b4_938f;
 
 #[test]
 fn scripted_run_matches_the_pinned_trace() {

@@ -235,6 +235,7 @@ fn migration_pipeline_shape_is_trace_clean() {
             staging_base: 200_000,
             staging_slots: 4,
             cpu_per_block: 550,
+            demand: None,
         })
     }
     let r = small();
