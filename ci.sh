@@ -25,9 +25,16 @@ echo "==> trace suites (trace_invariants + golden_trace + trace_props)"
 cargo test -q --test trace_invariants --test golden_trace --test trace_props
 
 # Drive-pool suite: overlap-vs-serialize, affinity batching, the
-# starvation bound, and pool-schedule determinism (DESIGN.md §6e).
+# starvation bound, pool-schedule determinism (DESIGN.md §6e), and the
+# degraded-mode cases — drive death mid-fetch, watchdog-on-hang with
+# spare rejoin, dead-pool drain, lane-sharing flag (DESIGN.md §6f).
 echo "==> drive-pool suite (tests/drive_pool.rs)"
 cargo test -q --test drive_pool
+
+# Drive-fault property arm: random drive-fault plan × demand workload
+# must lose no tickets, match the byte oracle, and replay clean.
+echo "==> fault property suite (tests/fault_props.rs)"
+cargo test -q --test fault_props
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -93,6 +100,52 @@ for d, entry in abl.items():
     assert len(entry["drive_utilization_pct"]) == int(d), d
 print("BENCH_pipeline.json OK:",
       {d: e["throughput_kbs"]["overall"] for d, e in sorted(abl.items())})
+EOF
+
+# Fault-under-load smoke (DESIGN.md §6f): the §7.3 migration + demand
+# stream under a mid-run drive death, a robot jam, and an all-drives
+# blackout. Each run must print "Tracecheck: 0 findings" (four runs
+# including the healthy baseline); the bench itself asserts zero lost
+# tickets and completion on the survivors. BENCH_faults.json must
+# exist, parse with the shared schema, and show the degraded run's
+# wall clock within 2x the healthy baseline.
+echo "==> fault-under-load smoke (drive death / robot jam / blackout)"
+fl=$(cargo bench -q -p hl-bench --bench fault_load 2>&1)
+echo "$fl" | grep -E "Tracecheck:|Degraded-mode checks" -A 4
+if [ "$(echo "$fl" | grep -c "Tracecheck: 0 findings")" -ne 4 ]; then
+  echo "FAIL: fault_load runs did not all replay clean"
+  exit 1
+fi
+if echo "$fl" | grep -A 4 "Degraded-mode checks" | grep -q "false"; then
+  echo "FAIL: fault_load degraded-mode check regressed"
+  exit 1
+fi
+if [ ! -f BENCH_faults.json ]; then
+  echo "FAIL: BENCH_faults.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_faults.json") as f:
+    data = json.load(f)
+fl = data["fault_load"]
+runs = {"healthy_4drive", "drive_death", "robot_jam", "blackout"}
+assert runs <= set(fl), f"missing runs: {runs - set(fl)}"
+for name in runs:
+    entry = fl[name]
+    for key in ("throughput_kbs", "demand_residency_us",
+                "drive_utilization_pct", "availability", "faults",
+                "wall_clock_us"):
+        assert key in entry, f"{name}: missing {key}"
+healthy = fl["healthy_4drive"]
+death = fl["drive_death"]
+assert healthy["faults"]["drive_down"] == 0, "healthy run saw a drive down"
+assert death["faults"]["drive_down"] >= 1, "drive_death run saw no fault"
+assert death["wall_clock_us"] <= 2 * healthy["wall_clock_us"], (
+    f"degraded wall clock {death['wall_clock_us']} > "
+    f"2x healthy {healthy['wall_clock_us']}")
+print("BENCH_faults.json OK:",
+      {n: fl[n]["faults"]["drive_down"] for n in sorted(runs)})
 EOF
 
 echo "CI OK"

@@ -109,6 +109,22 @@ pub struct PipelineResult {
     pub drives: usize,
     /// Media swaps the robot performed.
     pub media_swaps: u64,
+    /// Per-drive down intervals `[(down, up)]`, replayed from the
+    /// recorder's `DriveDown`/`DriveUp` events; a drive still down at
+    /// the end closes its interval at `total_end`. Empty on healthy
+    /// runs.
+    pub availability: Vec<Vec<(SimTime, SimTime)>>,
+    /// Copy-outs whose ticket resolved with an error (surfaced, not
+    /// lost — every ticket resolves even under faults).
+    pub failed_copyouts: usize,
+    /// Demand fetches whose ticket resolved with an error.
+    pub failed_fetches: usize,
+    /// Drive-down events the engine recorded.
+    pub drive_down: u64,
+    /// Orphaned ops pushed back to the device queue.
+    pub redispatched: u64,
+    /// Watchdog deadline expiries on hung drives.
+    pub watchdog_fired: u64,
 }
 
 impl PipelineResult {
@@ -158,15 +174,29 @@ impl PipelineResult {
             .collect()
     }
 
-    /// Machine-readable summary (the `BENCH_pipeline.json` payload):
-    /// Table 6's throughputs, the demand queue-residency percentiles,
-    /// drive utilization, and the robot's swap count.
+    /// Machine-readable summary (the `BENCH_pipeline.json` and
+    /// `BENCH_faults.json` payload — one shared schema): Table 6's
+    /// throughputs, the demand queue-residency percentiles, drive
+    /// utilization, the robot's swap count, the per-drive availability
+    /// timeline, and the fault counters (all zero on healthy runs).
     pub fn to_json(&self) -> String {
         let (contention, no_contention, overall) = self.throughputs();
         let utils: Vec<String> = self
             .drive_utilization()
             .iter()
             .map(|u| format!("{u:.2}"))
+            .collect();
+        let avail: Vec<String> = self
+            .availability
+            .iter()
+            .enumerate()
+            .map(|(d, downs)| {
+                let spans: Vec<String> = downs
+                    .iter()
+                    .map(|(s, e)| format!("[{s},{e}]"))
+                    .collect();
+                format!("{{\"drive\":{d},\"down\":[{}]}}", spans.join(","))
+            })
             .collect();
         format!(
             concat!(
@@ -175,6 +205,10 @@ impl PipelineResult {
                 "\"demand_residency_us\":{{\"p50\":{},\"p95\":{},\"n\":{}}},",
                 "\"drive_utilization_pct\":[{}],",
                 "\"drives\":{},\"media_swaps\":{},\"wall_clock_us\":{},",
+                "\"availability\":[{}],",
+                "\"faults\":{{\"drive_down\":{},\"redispatched\":{},",
+                "\"watchdog_fired\":{},\"failed_copyouts\":{},",
+                "\"failed_fetches\":{}}},",
                 "\"trace_digest\":\"{:016x}\"}}"
             ),
             contention,
@@ -187,6 +221,12 @@ impl PipelineResult {
             self.drives,
             self.media_swaps,
             self.total_end,
+            avail.join(","),
+            self.drive_down,
+            self.redispatched,
+            self.watchdog_fired,
+            self.failed_copyouts,
+            self.failed_fetches,
             self.trace_digest,
         )
     }
@@ -399,15 +439,28 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
     };
     sched.run(&mut world);
 
+    // Every ticket resolves even under injected drive faults: a lost
+    // op would leave its ticket unresolved and panic here. Failures
+    // (e.g. the pool died) surface as errors and are counted, not
+    // dropped.
+    let mut failed_copyouts = 0usize;
     let mut completions: Vec<SimTime> = world
         .tickets
         .iter()
-        .map(|t| t.copyout_result().expect("copy-out failed"))
+        .filter_map(|t| match t.copyout_result() {
+            Ok(end) => Some(end),
+            Err(_) => {
+                failed_copyouts += 1;
+                None
+            }
+        })
         .collect();
     completions.sort_unstable();
-    for t in &world.demand_tickets {
-        t.fetch_result().expect("demand fetch failed");
-    }
+    let failed_fetches = world
+        .demand_tickets
+        .iter()
+        .filter(|t| t.fetch_result().is_err())
+        .count();
     // Queue residency (enqueue to device start) of each demand fetch,
     // replayed from the recorder's event stream.
     let mut demand_residency: Vec<SimTime> = tio
@@ -427,9 +480,36 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
     demand_residency.sort_unstable();
     let st = tio.stats();
     let drives = tio.drives();
+    let total_end = completions.last().copied().unwrap_or(0);
+    // Per-drive availability timeline: pair each DriveDown with the
+    // next DriveUp on the same drive; a drive still down at the end
+    // closes its interval at the run's horizon.
+    let mut availability: Vec<Vec<(SimTime, SimTime)>> = vec![Vec::new(); drives];
+    let mut open: Vec<Option<SimTime>> = vec![None; drives];
+    for ev in tio.tracer().events().iter() {
+        match ev.kind {
+            hl_trace::EventKind::DriveDown { drive } => {
+                if let Some(slot) = open.get_mut(drive as usize) {
+                    slot.get_or_insert(ev.at);
+                }
+            }
+            hl_trace::EventKind::DriveUp { drive } => {
+                let d = drive as usize;
+                if let Some(s) = open.get_mut(d).and_then(|o| o.take()) {
+                    availability[d].push((s, ev.at));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (d, slot) in open.into_iter().enumerate() {
+        if let Some(s) = slot {
+            availability[d].push((s, total_end.max(s)));
+        }
+    }
     PipelineResult {
         migrator_done: world.migrator_done.unwrap_or(0),
-        total_end: completions.last().copied().unwrap_or(0),
+        total_end,
         completions,
         phases: tio.phases(),
         trace_digest: tio.trace_digest(),
@@ -439,6 +519,12 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         drive_busy: st.drive_busy[..drives].to_vec(),
         drives,
         media_swaps: tio.jukebox().stats().swaps,
+        availability,
+        failed_copyouts,
+        failed_fetches,
+        drive_down: st.drive_down,
+        redispatched: st.redispatched,
+        watchdog_fired: st.watchdog_fired,
     }
 }
 

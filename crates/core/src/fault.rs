@@ -217,6 +217,24 @@ pub enum FaultEvent {
         /// The slot that did not fit.
         slot: u32,
     },
+    /// A drive lane was marked down (hard fault or watchdog expiry); its
+    /// in-flight op was re-dispatched and the lane entered probe mode.
+    DriveDown {
+        /// Detection time.
+        at: SimTime,
+        /// The downed drive.
+        drive: u32,
+        /// The fault that took it down.
+        error: DevError,
+    },
+    /// A quarantined drive answered a health probe and rejoined the pool
+    /// as a hot spare.
+    DriveUp {
+        /// Rejoin time.
+        at: SimTime,
+        /// The recovered drive.
+        drive: u32,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -262,6 +280,12 @@ impl fmt::Display for FaultEvent {
             } => write!(f, "t={at} seg={seg} v{vol}/s{slot} write fault: {error}"),
             FaultEvent::EndOfMedium { at, vol, slot } => {
                 write!(f, "t={at} v{vol}/s{slot} end of medium; volume full")
+            }
+            FaultEvent::DriveDown { at, drive, error } => {
+                write!(f, "t={at} drive d{drive} DOWN: {error}")
+            }
+            FaultEvent::DriveUp { at, drive } => {
+                write!(f, "t={at} drive d{drive} up (hot spare)")
             }
         }
     }

@@ -24,6 +24,17 @@
 //! serialized [`hl_sim::Resource`] inside the jukebox, so concurrent
 //! swaps from different lanes queue on its busy horizon.
 //!
+//! **Degraded mode** (DESIGN.md §6f): every op carries an implicit
+//! watchdog — the device profile's nominal whole-segment time scaled by
+//! [`crate::recovery::WatchdogConfig::slack`]. On a hard fault or a
+//! watchdog expiry, the observing lane marks the faulted drive down,
+//! abandons its platter, and pushes the orphaned op back into the shared
+//! device queue so a surviving lane re-runs it (the ticket and its
+//! coalesced joiners ride along untouched). Downed lanes climb a
+//! backoff probe ladder and rejoin as hot spares when the drive heals;
+//! exhausted ladders retire the lane. The writer mantle moves to the
+//! lowest *healthy* lane, so copy-outs survive the death of drive 0.
+//!
 //! All actors are generic over the scheduler's world type, so the same
 //! set runs on [`crate::service::TertiaryIo`]'s internal scheduler (the
 //! synchronous façades) or on a benchmark's scheduler alongside
@@ -35,7 +46,7 @@ use hl_sim::time::SimTime;
 use hl_sim::{Actor, ActorId, Scheduler, Step, Waker};
 
 use crate::requests::{ReqClass, DISPATCH_CPU};
-use crate::service::{phase, TioInner, MAX_DRIVES};
+use crate::service::{phase, ExecResult, LaneGate, ProbeOutcome, TioInner, MAX_DRIVES};
 
 /// Wake handles for the engine's actors on their current scheduler.
 pub(crate) struct EngineHandles {
@@ -84,10 +95,6 @@ struct IoActor {
     inner: Rc<TioInner>,
     /// The lane's home drive (swaps for unloaded volumes go here).
     drive: usize,
-    /// Writer lane (drive 0): the only lane running write-class ops.
-    writer: bool,
-    /// Single-drive pool: class preferences are moot.
-    solo: bool,
     /// Trace/park label, e.g. `io-server-d0`.
     label: String,
     /// When this lane's last operation finished (its busy horizon).
@@ -96,11 +103,34 @@ struct IoActor {
 
 impl<W> Actor<W> for IoActor {
     fn step(&mut self, _world: &mut W, now: SimTime) -> Step {
+        // Health gate: a downed lane runs its probe ladder instead of
+        // taking work; a retired lane leaves the scheduler for good.
+        match self.inner.lane_gate(self.drive, now) {
+            LaneGate::Retired => return Step::Done,
+            LaneGate::ProbeAt(t) if t > now => return Step::Yield(t),
+            LaneGate::ProbeAt(_) => {
+                return match self.inner.probe_lane(now, self.drive) {
+                    ProbeOutcome::Recovered => {
+                        // Hot spare: eligible again from this instant;
+                        // the immediate re-step takes queued work.
+                        self.free_since = self.free_since.max(now);
+                        Step::Yield(now)
+                    }
+                    ProbeOutcome::Backoff(next) => Step::Yield(next),
+                    ProbeOutcome::Retired => Step::Done,
+                };
+            }
+            LaneGate::Healthy => {}
+        }
+        // Roles are computed against the *healthy* pool each step: the
+        // writer mantle falls to the lowest healthy lane, and a lane
+        // left alone by faults serves every class (solo rules).
+        let (writer, solo) = self.inner.lane_roles(self.drive);
         let loaded_all = self.inner.jukebox.loaded_volumes();
         let op = self.inner.queues.borrow_mut().take_for_drive(
             self.drive,
-            self.writer,
-            self.solo,
+            writer,
+            solo,
             &loaded_all,
         );
         let Some(op) = op else {
@@ -130,12 +160,39 @@ impl<W> Actor<W> for IoActor {
             op.enqueued_at.min(start),
             start,
         );
-        let end = self.inner.exec(&op, start, self.drive);
-        self.free_since = end;
-        if op.class == ReqClass::CopyOut {
-            self.inner.wake_copyout_waiters(end);
+        match self.inner.exec(&op, start, self.drive) {
+            ExecResult::Done(end) => {
+                self.free_since = end;
+                if op.class == ReqClass::CopyOut {
+                    self.inner.wake_copyout_waiters(end);
+                }
+                Step::Yield(end)
+            }
+            ExecResult::LaneFault {
+                at,
+                drive,
+                error,
+                hung,
+            } => {
+                // A dead drive fails fast; a hung one is only abandoned
+                // once its watchdog deadline expires.
+                let fired = if hung {
+                    let t = at + self.inner.watchdog_deadline(op.class);
+                    self.inner.tracer.watchdog_fire(t, drive, op.span);
+                    t
+                } else {
+                    at
+                };
+                // The faulted drive may differ from this lane: a read
+                // routed to the platter's holder observes that drive's
+                // death. Down it, then push the orphaned op back for a
+                // surviving lane (the ticket and span stay open).
+                self.inner.mark_lane_down(fired, drive as usize, error);
+                self.inner.redispatch(op, fired, drive, error);
+                self.free_since = self.free_since.max(fired);
+                Step::Yield(fired)
+            }
         }
-        Step::Yield(end)
     }
 
     fn name(&self) -> &str {
@@ -157,8 +214,6 @@ pub(crate) fn spawn_engine<W: 'static>(
         sched.spawn_parked(IoActor {
             inner: inner.clone(),
             drive: d,
-            writer: d == 0,
-            solo: drives == 1,
             label: format!("io-server-d{d}"),
             free_since: 0,
         })

@@ -49,7 +49,7 @@ pub use fs::{CopyOutMode, HighLight, HlConfig, MigrateStats, RearrangeMode};
 pub use hlfsck::{HlFinding, HlfsckReport};
 pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy, StpPolicy};
 pub use prefetch::PrefetchPolicy;
-pub use recovery::{RecoveryPolicy, RecoveryState};
+pub use recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
 pub use replicas::ReplicaSet;
 pub use requests::{FetchMode, Outcome, ReqClass, Ticket, DISPATCH_CPU};
 pub use segcache::{EjectPolicy, SegCache};

@@ -43,6 +43,12 @@ pub const DISPATCH_CPU: SimTime = 2 * MS;
 /// affinity batches no matter how attractive the loaded volume stays.
 pub const AFFINITY_BOUND: u32 = 4;
 
+/// Re-dispatch bound for a device op orphaned by drive faults: after this
+/// many lane deaths under one op, the engine stops chasing surviving
+/// drives and fails the ticket. One attempt per possible lane is enough —
+/// more would only delay the inevitable `SegmentUnavailable`.
+pub const MAX_REDISPATCH: u32 = 8;
+
 /// Request classes in dispatch-priority order: a blocked reader beats
 /// everything, reclaiming pinned lines beats background work, and
 /// speculative prefetch/scrub traffic never delays either.
@@ -213,6 +219,9 @@ pub(crate) struct DevOp {
     /// How many times a later op was taken over this one (the starvation
     /// guard's age; see [`AFFINITY_BOUND`]).
     pub bypassed: u32,
+    /// How many times a drive fault orphaned this op and it was pushed
+    /// back for another lane (see [`MAX_REDISPATCH`]).
+    pub attempts: u32,
     /// Completion cell.
     pub ticket: Ticket,
 }
@@ -358,6 +367,15 @@ impl EngineQueues {
     /// Clears the coalescing entry once a fetch completes or fails.
     pub fn retire_fetch(&mut self, seg: SegNo) {
         self.pending_fetch.remove(&seg);
+    }
+
+    /// Removes the best-priority request regardless of its enqueue time.
+    /// Only the engine's dead-pool drain uses this: with every lane
+    /// retired no request can ever be served, so arrival times no longer
+    /// matter — each is failed in priority order.
+    pub fn pop_any(&mut self) -> Option<Request> {
+        let key = self.reqq.keys().next().copied()?;
+        self.reqq.remove(&key)
     }
 
     /// Pops the best-priority request whose enqueue time has arrived.
@@ -564,6 +582,7 @@ mod tests {
             span: 0,
             vol,
             bypassed: 0,
+            attempts: 0,
             ticket: Ticket::new(),
         }
     }

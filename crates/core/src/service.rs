@@ -32,10 +32,11 @@ use hl_vdev::{BlockDev, DevError, IoSlot, IoTracker};
 use crate::addr::UniformMap;
 use crate::fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
 use crate::ioserver::{spawn_engine, EngineHandles};
-use crate::recovery::{RecoveryPolicy, RecoveryState};
+use crate::recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
 use crate::replicas::ReplicaSet;
 use crate::requests::{
-    DevOp, EngineQueues, FetchMode, Outcome, ReqClass, Request, Ticket, DISPATCH_CPU,
+    write_class, DevOp, EngineQueues, FetchMode, Outcome, ReqClass, Request, Ticket, DISPATCH_CPU,
+    MAX_REDISPATCH,
 };
 use crate::segcache::{LineState, SegCache};
 use crate::tsegfile::TsegTable;
@@ -144,6 +145,17 @@ pub struct SvcStats {
     pub affinity_hits: u64,
     /// Ops promoted past affinity batching by the starvation guard.
     pub starvation_promotions: u64,
+    /// Drive lanes marked down (hard fault or watchdog expiry); derived
+    /// from the trace recorder.
+    pub drive_down: u64,
+    /// Orphaned device ops re-dispatched to surviving lanes.
+    pub redispatched: u64,
+    /// Watchdog deadline expirations on hung device ops.
+    pub watchdog_fired: u64,
+    /// `true` when the jukebox reports more drives than the engine runs
+    /// lanes ([`MAX_DRIVES`]): the extra drives silently share lanes,
+    /// which skews per-drive accounting.
+    pub lanes_shared: bool,
 }
 
 /// Outcome of one [`TertiaryIo::scrub`] pass.
@@ -157,6 +169,81 @@ pub struct ScrubReport {
     pub write_failures: u32,
     /// Segments with no surviving copy anywhere.
     pub unrecoverable: Vec<SegNo>,
+}
+
+/// Health record of one I/O-server lane. Shared through
+/// [`TioInner::lanes`]: *any* lane may mark *any* drive down, because a
+/// read routed to an already-loaded platter observes faults on the
+/// drive that holds it, not on the lane's home drive.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct LaneHealth {
+    /// When the drive was marked down (`None` = healthy).
+    pub down_since: Option<SimTime>,
+    /// Failed health probes since it went down.
+    pub probes: u32,
+    /// Next scheduled health probe.
+    pub next_probe: SimTime,
+    /// Probe ladder exhausted: the lane has left the pool for good.
+    pub retired: bool,
+}
+
+/// What an I/O lane should do this step, per its health record.
+pub(crate) enum LaneGate {
+    /// Take work normally.
+    Healthy,
+    /// Down: run (or wait for) the probe scheduled at this time.
+    ProbeAt(SimTime),
+    /// Out of the pool for good.
+    Retired,
+}
+
+/// Outcome of one health probe of a downed lane.
+pub(crate) enum ProbeOutcome {
+    /// The drive answered: rejoin the pool as a hot spare.
+    Recovered,
+    /// Still dead: probe again at the given time.
+    Backoff(SimTime),
+    /// Ladder exhausted: the lane retires.
+    Retired,
+}
+
+/// Result of executing one device op.
+pub(crate) enum ExecResult {
+    /// The op finished (its ticket is resolved); the value is when the
+    /// lane's drive is next free.
+    Done(SimTime),
+    /// A drive-scoped fault interrupted the op. The ticket is *not*
+    /// resolved: the caller downs the drive and re-dispatches the op to
+    /// a surviving lane.
+    LaneFault {
+        /// When the fault was observed.
+        at: SimTime,
+        /// The faulted drive (may differ from the executing lane).
+        drive: u32,
+        /// The device's report.
+        error: DevError,
+        /// Hang (watchdog deadline applies) vs. fail-fast death.
+        hung: bool,
+    },
+}
+
+/// Classifies a device error as a drive-scoped lane fault.
+fn lane_fault(at: SimTime, error: DevError) -> Option<ExecResult> {
+    match error {
+        DevError::DriveDead { drive } => Some(ExecResult::LaneFault {
+            at,
+            drive,
+            error,
+            hung: false,
+        }),
+        DevError::DriveHung { drive } => Some(ExecResult::LaneFault {
+            at,
+            drive,
+            error,
+            hung: true,
+        }),
+        _ => None,
+    }
 }
 
 /// All engine state shared between the public façade and the two actors.
@@ -178,6 +265,13 @@ pub(crate) struct TioInner {
     pub(crate) replicate: Cell<u32>,
     /// Retry/failover/quarantine knobs (§10).
     pub(crate) policy: Cell<RecoveryPolicy>,
+    /// Watchdog deadline and probe-ladder knobs for drive-lane faults.
+    pub(crate) watchdog: Cell<WatchdogConfig>,
+    /// Per-lane health registry, indexed by drive.
+    pub(crate) lanes: RefCell<Vec<LaneHealth>>,
+    /// Every lane retired: requests are failed fast instead of queued
+    /// (nothing could ever serve them and the engine must quiesce).
+    pub(crate) all_retired: Cell<bool>,
     /// Per-volume failure strikes and quarantine set.
     pub(crate) recovery: RefCell<RecoveryState>,
     /// Append-only record of every fault and recovery action.
@@ -253,13 +347,244 @@ impl TioInner {
         }
     }
 
+    /// What the lane for `drive` should do this step, per its health.
+    pub(crate) fn lane_gate(&self, drive: usize, _now: SimTime) -> LaneGate {
+        let lanes = self.lanes.borrow();
+        match lanes.get(drive) {
+            Some(h) if h.retired => LaneGate::Retired,
+            Some(h) if h.down_since.is_some() => LaneGate::ProbeAt(h.next_probe),
+            _ => LaneGate::Healthy,
+        }
+    }
+
+    /// Effective `(writer, solo)` roles for `drive`, computed against
+    /// the *healthy* pool each step: the writer mantle falls to the
+    /// lowest healthy lane (so copy-outs survive the death of drive 0),
+    /// and the last healthy lane serves every class.
+    pub(crate) fn lane_roles(&self, drive: usize) -> (bool, bool) {
+        let lanes = self.lanes.borrow();
+        let mut healthy = lanes
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| !h.retired && h.down_since.is_none())
+            .map(|(i, _)| i);
+        match healthy.next() {
+            Some(lowest) => (lowest == drive, healthy.next().is_none()),
+            // Unreachable from a healthy lane; fail safe as writer+solo.
+            None => (true, true),
+        }
+    }
+
+    /// The watchdog deadline for an op of `class`: the device profile's
+    /// nominal whole-segment time scaled by the configured slack.
+    pub(crate) fn watchdog_deadline(&self, class: ReqClass) -> SimTime {
+        let nominal = self.jukebox.nominal_segment_io(write_class(class));
+        self.watchdog.get().deadline(nominal)
+    }
+
+    /// Marks `drive` down at `at` — clamped past the drive's in-flight
+    /// transfer, so no admitted device interval outlives the down mark —
+    /// logs it, abandons the platter the drive holds, and wakes the
+    /// downed lane so it starts its probe ladder. Idempotent: later
+    /// observers of the same dead drive are no-ops.
+    pub(crate) fn mark_lane_down(&self, at: SimTime, drive: usize, error: DevError) {
+        let at = at.max(self.jukebox.drive_busy_until(drive));
+        {
+            let mut lanes = self.lanes.borrow_mut();
+            let Some(h) = lanes.get_mut(drive) else {
+                return;
+            };
+            if h.retired || h.down_since.is_some() {
+                return;
+            }
+            h.down_since = Some(at);
+            h.probes = 0;
+            h.next_probe = at + self.watchdog.get().probe_delay(0);
+        }
+        self.tracer.drive_down(at, drive as u32);
+        self.fault_log.borrow_mut().push(FaultEvent::DriveDown {
+            at,
+            drive: drive as u32,
+            error,
+        });
+        self.jukebox.abandon_drive(at, drive);
+        self.queues
+            .borrow_mut()
+            .log(format!("io! drive d{drive} down t{at}"));
+        if let Some(h) = &*self.handles.borrow() {
+            if let Some(&id) = h.io.get(drive) {
+                h.waker.wake(id, at);
+            }
+        }
+    }
+
+    /// Pushes an op orphaned by a drive fault back into the device
+    /// queue for a surviving lane. The ticket, trace span, and any
+    /// coalesced joiners ride along untouched — only past the
+    /// re-dispatch bound is the ticket failed with the drive's error.
+    pub(crate) fn redispatch(&self, mut op: DevOp, at: SimTime, from_drive: u32, error: DevError) {
+        op.attempts += 1;
+        if op.attempts > MAX_REDISPATCH {
+            self.queues.borrow_mut().log(format!(
+                "io! {} seg {} gave up after {} re-dispatches",
+                op.class.label(),
+                op.seg.map_or("-".to_string(), |s| s.to_string()),
+                op.attempts - 1,
+            ));
+            self.fail_op(op, at, error);
+            return;
+        }
+        self.tracer.redispatch(at, op.span, from_drive);
+        op.ready_at = at;
+        op.bypassed = 0;
+        {
+            let mut q = self.queues.borrow_mut();
+            q.log(format!(
+                "io> redispatch {} seg {} from d{from_drive} t{at}",
+                op.class.label(),
+                op.seg.map_or("-".to_string(), |s| s.to_string())
+            ));
+            q.devq.push_back(op);
+        }
+        self.wake_io(at);
+    }
+
+    /// Probes a downed lane at `now`: success rejoins it as a hot
+    /// spare; failure climbs the backoff ladder; an exhausted ladder
+    /// retires the lane (and, if it was the last, drains the queues so
+    /// every outstanding ticket resolves).
+    pub(crate) fn probe_lane(&self, now: SimTime, drive: usize) -> ProbeOutcome {
+        if self.jukebox.probe_drive(now, drive) {
+            if let Some(h) = self.lanes.borrow_mut().get_mut(drive) {
+                h.down_since = None;
+                h.probes = 0;
+            }
+            self.tracer.drive_up(now, drive as u32);
+            self.fault_log.borrow_mut().push(FaultEvent::DriveUp {
+                at: now,
+                drive: drive as u32,
+            });
+            self.queues
+                .borrow_mut()
+                .log(format!("io! drive d{drive} up t{now}"));
+            return ProbeOutcome::Recovered;
+        }
+        let (retired, next, all_retired) = {
+            let mut lanes = self.lanes.borrow_mut();
+            let cfg = self.watchdog.get();
+            let h = &mut lanes[drive];
+            h.probes += 1;
+            if h.probes >= cfg.max_probes {
+                h.retired = true;
+                (true, 0, lanes.iter().all(|l| l.retired))
+            } else {
+                h.next_probe = now + cfg.probe_delay(h.probes);
+                (false, h.next_probe, false)
+            }
+        };
+        if retired {
+            self.queues
+                .borrow_mut()
+                .log(format!("io! drive d{drive} retired t{now}"));
+            if all_retired {
+                self.drain_dead(now);
+            }
+            ProbeOutcome::Retired
+        } else {
+            ProbeOutcome::Backoff(next)
+        }
+    }
+
+    /// Every lane has retired: nothing can ever be served again. Fails
+    /// all queued work so tickets resolve and the engine quiesces, and
+    /// flags the pool dead so future dispatches fail fast.
+    fn drain_dead(&self, at: SimTime) {
+        self.all_retired.set(true);
+        self.queues.borrow_mut().log(format!("io! pool dead t{at}"));
+        let ops: Vec<DevOp> = self.queues.borrow_mut().devq.drain(..).collect();
+        for op in ops {
+            self.fail_op(op, at, DevError::Offline);
+        }
+        loop {
+            let req = self.queues.borrow_mut().pop_any();
+            let Some(req) = req else { break };
+            self.fail_request(req, at);
+        }
+        self.wake_svc(at);
+        self.wake_copyout_waiters(at);
+    }
+
+    /// Fails a device op's ticket outright (re-dispatch exhausted or
+    /// the whole pool dead), releasing whatever it held.
+    fn fail_op(&self, op: DevOp, at: SimTime, error: DevError) {
+        match op.class {
+            ReqClass::Demand | ReqClass::Prefetch => match op.seg {
+                Some(seg) => self.fail_fetch(&op, seg, at, HlError::Dev(error)),
+                None => {
+                    self.tracer.close_span(at, op.span, false);
+                    op.ticket.complete(Outcome::Fetch(Err(HlError::Dev(error))));
+                }
+            },
+            ReqClass::CopyOut => {
+                self.tracer.close_span(at, op.span, false);
+                op.ticket.complete(Outcome::CopyOut(Err(error)));
+            }
+            ReqClass::Scrub => {
+                self.tracer.close_span(at, op.span, false);
+                op.ticket.complete(Outcome::Scrub(Box::new(ScrubReport {
+                    end: at,
+                    ..ScrubReport::default()
+                })));
+            }
+            ReqClass::Eject => {
+                self.tracer.close_span(at, op.span, false);
+                op.ticket.complete(Outcome::Eject(false));
+            }
+        }
+    }
+
+    /// Fails one queued request outright (dead pool).
+    fn fail_request(&self, req: Request, at: SimTime) {
+        if let (Some(seg), Some(_)) = (req.seg, req.mode) {
+            self.queues.borrow_mut().retire_fetch(seg);
+        }
+        self.tracer.close_span(at, req.span, false);
+        match req.class {
+            ReqClass::Demand | ReqClass::Prefetch => {
+                req.ticket
+                    .complete(Outcome::Fetch(Err(HlError::Dev(DevError::Offline))));
+            }
+            ReqClass::CopyOut => {
+                req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+            }
+            ReqClass::Eject => req.ticket.complete(Outcome::Eject(false)),
+            ReqClass::Scrub => {
+                req.ticket.complete(Outcome::Scrub(Box::new(ScrubReport {
+                    end: at,
+                    ..ScrubReport::default()
+                })));
+            }
+        }
+    }
+
     /// The service process fields one request at `now`: ejections finish
     /// inline; everything else gets a cache line selected and enters the
     /// device queue with a `ready_at` one dispatch hop in the future.
     pub(crate) fn dispatch(&self, req: Request, now: SimTime) {
+        if self.all_retired.get() {
+            // The pool is dead: nothing can serve this, fail fast.
+            self.fail_request(req, now);
+            return;
+        }
         match req.class {
             ReqClass::Eject => {
-                let seg = req.seg.expect("eject targets a segment");
+                // A segment-less eject is a caller bug, but a recoverable
+                // one: refuse rather than panic (robustness audit).
+                let Some(seg) = req.seg else {
+                    self.tracer.close_span(now, req.span, false);
+                    req.ticket.complete(Outcome::Eject(false));
+                    return;
+                };
                 let ok = self.do_eject(seg);
                 self.tracer.queuing(
                     now,
@@ -285,13 +610,19 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     bypassed: 0,
+                    attempts: 0,
                     demand_enq: None,
                     span: req.span,
                     ticket: req.ticket,
                 });
             }
             ReqClass::Demand | ReqClass::Prefetch => {
-                let seg = req.seg.expect("fetch targets a segment");
+                let Some(seg) = req.seg else {
+                    self.tracer.close_span(now, req.span, false);
+                    req.ticket
+                        .complete(Outcome::Fetch(Err(HlError::Dev(DevError::Offline))));
+                    return;
+                };
                 let resident = self.cache.borrow().peek(seg).copied();
                 if let Some(line) = resident {
                     if line.state != LineState::Filling {
@@ -333,13 +664,19 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     bypassed: 0,
+                    attempts: 0,
                     demand_enq: req.demand_enq,
                     span: req.span,
                     ticket: req.ticket,
                 });
             }
             ReqClass::CopyOut => {
-                let seg = req.seg.expect("copy-out targets a segment");
+                let Some(seg) = req.seg else {
+                    self.tracer.close_span(now, req.span, false);
+                    req.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+                    self.wake_copyout_waiters(now);
+                    return;
+                };
                 let line = self.cache.borrow().peek(seg).copied();
                 let sealed = match line {
                     // Not sealed: nothing coherent to write. A caller
@@ -378,6 +715,7 @@ impl TioInner {
                     enqueued_at: req.enqueued_at,
                     ready_at: now + DISPATCH_CPU,
                     bypassed: 0,
+                    attempts: 0,
                     demand_enq: None,
                     span: req.span,
                     ticket: req.ticket,
@@ -403,26 +741,36 @@ impl TioInner {
         self.wake_io(ready);
     }
 
-    /// Executes one device op at `start` on lane `drive`, resolves its
-    /// ticket, and returns when that lane's drive is next free (for a
-    /// demand fetch that is the media read's end — the cache-disk fill
-    /// proceeds on the staging lane while the drive serves the next op).
-    pub(crate) fn exec(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
+    /// Executes one device op at `start` on lane `drive`. On success the
+    /// ticket is resolved and the result carries when that lane's drive
+    /// is next free (for a demand fetch that is the media read's end —
+    /// the cache-disk fill proceeds on the staging lane while the drive
+    /// serves the next op). A drive-scoped fault instead surfaces as
+    /// [`ExecResult::LaneFault`] with the ticket left open, so the
+    /// caller can down the drive and re-dispatch the op.
+    pub(crate) fn exec(&self, op: &DevOp, start: SimTime, drive: usize) -> ExecResult {
         match op.class {
             ReqClass::Demand | ReqClass::Prefetch => self.exec_fetch(op, start, drive),
             ReqClass::CopyOut => self.exec_copyout(op, start, drive),
             ReqClass::Scrub => {
-                let report = self.scrub_pass(start, drive);
+                let (report, fault) = self.scrub_pass(start, drive);
+                if let Some((at, error)) = fault {
+                    // Abort, don't mis-report segments unrecoverable: a
+                    // surviving lane re-runs the pass from its deficits.
+                    if let Some(f) = lane_fault(at, error) {
+                        return f;
+                    }
+                }
                 let end = report.end;
                 self.queues
                     .borrow_mut()
                     .log(format!("io! scrub done t{end}"));
                 self.tracer.close_span(end, op.span, true);
                 op.ticket.complete(Outcome::Scrub(Box::new(report)));
-                end
+                ExecResult::Done(end)
             }
             // Ejections never reach the device queue.
-            ReqClass::Eject => start,
+            ReqClass::Eject => ExecResult::Done(start),
         }
     }
 
@@ -436,16 +784,30 @@ impl TioInner {
         op.ticket.complete(Outcome::Fetch(Err(err)));
     }
 
-    fn exec_fetch(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
-        let seg = op.seg.expect("fetch targets a segment");
-        let disk_seg = op.disk_seg.expect("fetch got a line at dispatch");
+    fn exec_fetch(&self, op: &DevOp, start: SimTime, drive: usize) -> ExecResult {
+        // Missing fields are dispatch bugs, but recoverable ones:
+        // refuse the op rather than panic (robustness audit).
+        let (Some(seg), Some(disk_seg)) = (op.seg, op.disk_seg) else {
+            self.tracer.close_span(start, op.span, false);
+            op.ticket
+                .complete(Outcome::Fetch(Err(HlError::Dev(DevError::Offline))));
+            return ExecResult::Done(start);
+        };
         // I/O server: tertiary → memory, with retry/failover (§10).
         let mut buf = vec![0u8; self.seg_bytes];
         let (r, used) = match self.fetch_segment(start, drive, seg, &mut buf) {
             Ok((r, used, _home)) => (r, used),
             Err(e) => {
+                // Drive faults are lane-scoped, not data loss: leave the
+                // ticket and cache line alone and let the caller
+                // re-dispatch. Everything else fails the fetch.
+                if let HlError::Dev(d) = &e {
+                    if let Some(f) = lane_fault(start, *d) {
+                        return f;
+                    }
+                }
                 self.fail_fetch(op, seg, start, e);
-                return start;
+                return ExecResult::Done(start);
             }
         };
         self.phases
@@ -463,7 +825,7 @@ impl TioInner {
                     Ok(w) => w,
                     Err(e) => {
                         self.fail_fetch(op, seg, r.end, e.into());
-                        return r.end;
+                        return ExecResult::Done(r.end);
                     }
                 };
                 self.phases
@@ -484,7 +846,7 @@ impl TioInner {
                 // as the tertiary read completes.
                 if let Err(e) = self.disks.poke(base, &buf) {
                     self.fail_fetch(op, seg, r.end, e.into());
-                    return r.end;
+                    return ExecResult::Done(r.end);
                 }
                 let fill = hl_sim::time::transfer_time(self.seg_bytes as u64, 993.0);
                 let ready = r.end + fill;
@@ -517,23 +879,26 @@ impl TioInner {
         drop(stats);
         self.tracer.close_span(ready, op.span, true);
         op.ticket.complete(Outcome::Fetch(Ok((disk_seg, ready))));
-        end
+        ExecResult::Done(end)
     }
 
-    fn exec_copyout(&self, op: &DevOp, start: SimTime, drive: usize) -> SimTime {
-        let seg = op.seg.expect("copy-out targets a segment");
-        let disk_seg = op.disk_seg.expect("copy-out got a line at dispatch");
+    fn exec_copyout(&self, op: &DevOp, start: SimTime, drive: usize) -> ExecResult {
+        let (Some(seg), Some(disk_seg)) = (op.seg, op.disk_seg) else {
+            self.tracer.close_span(start, op.span, false);
+            op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
+            return ExecResult::Done(start);
+        };
         let Some((vol, slot)) = self.map.vol_slot(seg) else {
             self.tracer.close_span(start, op.span, false);
             op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
-            return start;
+            return ExecResult::Done(start);
         };
         // Re-check at service time: the volume may have been quarantined
         // while the op sat in the device queue.
         if self.recovery.borrow().is_quarantined(vol) {
             self.tracer.close_span(start, op.span, false);
             op.ticket.complete(Outcome::CopyOut(Err(DevError::Offline)));
-            return start;
+            return ExecResult::Done(start);
         }
 
         // I/O server: cache disk → memory.
@@ -544,7 +909,7 @@ impl TioInner {
             Err(e) => {
                 self.tracer.close_span(start, op.span, false);
                 op.ticket.complete(Outcome::CopyOut(Err(e)));
-                return start;
+                return ExecResult::Done(start);
             }
         };
         self.phases
@@ -579,7 +944,11 @@ impl TioInner {
                 drop(stats);
                 self.tracer.close_span(end, op.span, true);
                 op.ticket.complete(Outcome::CopyOut(Ok(end)));
-                end
+                ExecResult::Done(end)
+            }
+            Err(e @ (DevError::DriveDead { .. } | DevError::DriveHung { .. })) => {
+                // Lane-scoped: leave the ticket open for re-dispatch.
+                lane_fault(r.end, e).unwrap_or(ExecResult::Done(r.end))
             }
             Err(DevError::EndOfMedium { written }) => {
                 self.tseg.borrow_mut().volume_mut(vol).full = true;
@@ -595,12 +964,12 @@ impl TioInner {
                 self.tracer.close_span(r.end, op.span, false);
                 op.ticket
                     .complete(Outcome::CopyOut(Err(DevError::EndOfMedium { written })));
-                r.end
+                ExecResult::Done(r.end)
             }
             Err(e) => {
                 self.tracer.close_span(r.end, op.span, false);
                 op.ticket.complete(Outcome::CopyOut(Err(e)));
-                r.end
+                ExecResult::Done(r.end)
             }
         }
     }
@@ -831,7 +1200,12 @@ impl TioInner {
     /// surviving (non-quarantined) copies, and writes fresh replicas
     /// until each segment again has `1 + replication` copies. Segments
     /// with no surviving copy are reported unrecoverable.
-    fn scrub_pass(&self, at: SimTime, drive: usize) -> ScrubReport {
+    ///
+    /// A drive-scoped fault aborts the pass — reported as the second
+    /// element — rather than letting a dead *drive* masquerade as dead
+    /// *media*: the caller re-dispatches the whole pass to a surviving
+    /// lane, which recomputes the (idempotent) deficits.
+    fn scrub_pass(&self, at: SimTime, drive: usize) -> (ScrubReport, Option<(SimTime, DevError)>) {
         let target = 1 + self.replicate.get();
         let mut segs: Vec<SegNo> = self
             .tseg
@@ -863,10 +1237,16 @@ impl TioInner {
             let mut buf = vec![0u8; self.seg_bytes];
             let mut source = None;
             for &(vol, slot) in &homes {
-                if let Ok((r, _used)) = self.jukebox.read_segment_on(t, drive, vol, slot, &mut buf)
-                {
-                    source = Some((r, (vol, slot)));
-                    break;
+                match self.jukebox.read_segment_on(t, drive, vol, slot, &mut buf) {
+                    Ok((r, _used)) => {
+                        source = Some((r, (vol, slot)));
+                        break;
+                    }
+                    Err(e @ (DevError::DriveDead { .. } | DevError::DriveHung { .. })) => {
+                        report.end = t;
+                        return (report, Some((t, e)));
+                    }
+                    Err(_) => {}
                 }
             }
             let Some((r, from)) = source else {
@@ -916,6 +1296,10 @@ impl TioInner {
                     Err(DevError::EndOfMedium { .. }) => {
                         self.tseg.borrow_mut().volume_mut(vol).full = true;
                     }
+                    Err(e @ (DevError::DriveDead { .. } | DevError::DriveHung { .. })) => {
+                        report.end = t;
+                        return (report, Some((t, e)));
+                    }
                     Err(e) => {
                         self.stats.borrow_mut().replica_write_failures += 1;
                         self.fault_log.borrow_mut().push(FaultEvent::WriteFault {
@@ -931,7 +1315,7 @@ impl TioInner {
             }
         }
         report.end = t;
-        report
+        (report, None)
     }
 
     /// Ejects a clean cached line ("read-only cached segments ... may be
@@ -988,6 +1372,7 @@ impl TertiaryIo {
         cache.borrow_mut().set_tracer(tracer.clone());
         let mut iotrack = IoTracker::new();
         iotrack.set_tracer(tracer.clone());
+        let lane_count = jukebox.drives().clamp(1, MAX_DRIVES);
         let inner = Rc::new(TioInner {
             map,
             jukebox,
@@ -1001,6 +1386,9 @@ impl TertiaryIo {
             notifier: RefCell::new(None),
             replicate: Cell::new(0),
             policy: Cell::new(RecoveryPolicy::default()),
+            watchdog: Cell::new(WatchdogConfig::default()),
+            lanes: RefCell::new(vec![LaneHealth::default(); lane_count]),
+            all_retired: Cell::new(false),
             recovery: RefCell::new(RecoveryState::new()),
             fault_log: RefCell::new(FaultLog::new()),
             queues: RefCell::new(EngineQueues::new()),
@@ -1042,6 +1430,28 @@ impl TertiaryIo {
     /// Sets the retry/failover/quarantine policy (§10).
     pub fn set_recovery_policy(&self, p: RecoveryPolicy) {
         self.inner.policy.set(p);
+    }
+
+    /// Sets the drive-watchdog deadline slack and quarantine probe
+    /// ladder (DESIGN.md §6f).
+    pub fn set_watchdog(&self, cfg: WatchdogConfig) {
+        self.inner.watchdog.set(cfg);
+    }
+
+    /// The active watchdog/probe-ladder configuration.
+    pub fn watchdog_config(&self) -> WatchdogConfig {
+        self.inner.watchdog.get()
+    }
+
+    /// Per-lane health snapshot, indexed by drive: `true` = up and
+    /// taking work, `false` = down (probing) or retired.
+    pub fn lane_health(&self) -> Vec<bool> {
+        self.inner
+            .lanes
+            .borrow()
+            .iter()
+            .map(|h| !h.retired && h.down_since.is_none())
+            .collect()
     }
 
     /// The active recovery policy.
@@ -1129,6 +1539,10 @@ impl TertiaryIo {
             st.affinity_hits = q.affinity_hits;
             st.starvation_promotions = q.starvation_promotions;
         }
+        st.drive_down = t.drive_downs();
+        st.redispatched = t.redispatches();
+        st.watchdog_fired = t.watchdog_fires();
+        st.lanes_shared = self.inner.jukebox.drives() > MAX_DRIVES;
         st
     }
 
@@ -1159,7 +1573,8 @@ impl TertiaryIo {
             ],
             self.io_peak_in_flight(),
         )
-        .with_drive_lanes(self.inner.jukebox.drives().clamp(1, MAX_DRIVES));
+        .with_drive_lanes(self.inner.jukebox.drives().clamp(1, MAX_DRIVES))
+        .with_configured_drives(self.inner.jukebox.drives());
         hl_trace::tracecheck(&self.inner.tracer, &expect)
     }
 

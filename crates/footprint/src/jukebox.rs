@@ -13,8 +13,8 @@ use std::rc::Rc;
 use hl_sim::time::SimTime;
 use hl_sim::Resource;
 use hl_vdev::{
-    DevError, DiskProfile, FaultPlan, IoSlot, MediaFault, ScsiBus, SparseStore, SwapFault,
-    TapeProfile,
+    DevError, DiskProfile, DriveFault, FaultPlan, IoSlot, MediaFault, ScsiBus, SparseStore,
+    SwapFault, TapeProfile,
 };
 
 use crate::stats::FpStats;
@@ -259,8 +259,11 @@ impl Jukebox {
         if vol >= inner.cfg.volumes {
             return Err(DevError::Offline);
         }
-        // Already loaded?
+        // Already loaded? Served where it sits — but only if that drive
+        // is still answering. A dead drive holding the platter fails the
+        // op; the caller abandons the drive so the platter frees up.
         if let Some(d) = inner.drives.iter().position(|d| d.loaded == Some(vol)) {
+            Self::check_drive(inner, at, d)?;
             inner.drives[d].last_used = at;
             return Ok((d, at));
         }
@@ -294,6 +297,8 @@ impl Jukebox {
                 }
             },
         };
+        // A dead or hung target drive fails before any robot time is paid.
+        Self::check_drive(inner, at, d)?;
         // The swap needs the robot, the target drive, and (if attached)
         // hogs the bus for its whole duration. A fault plan may fail the
         // swap outright or jam the arm for extra stuck time.
@@ -305,7 +310,14 @@ impl Jukebox {
                 None => {}
             }
         }
-        let earliest = at.max(inner.drives[d].res.free_at());
+        let mut earliest = at.max(inner.drives[d].res.free_at());
+        // A scripted robot jam stalls the arm: no swap may start inside
+        // the jam window, so the earliest start slides to its end.
+        if let Some(plan) = &inner.fault {
+            if let Some(until) = plan.robot_jam_until(earliest) {
+                earliest = earliest.max(until);
+            }
+        }
         let (start, _) = inner.robot.acquire(earliest, swap);
         let end = if let Some(bus) = &inner.bus {
             bus.hog_for_swap(start, swap).1
@@ -319,6 +331,21 @@ impl Jukebox {
         inner.stats.swaps += 1;
         inner.stats.swap_time += end - start;
         Ok((d, end))
+    }
+
+    /// Consults the fault plan for a drive-scoped fault on the drive
+    /// about to execute an operation. Dead and hung drives fail fast —
+    /// before any robot or media time is charged — so the I/O server's
+    /// lane can mark itself down and re-dispatch the orphaned op.
+    fn check_drive(inner: &Inner, at: SimTime, d: usize) -> Result<(), DevError> {
+        if let Some(plan) = &inner.fault {
+            match plan.on_drive_op(at, d as u32) {
+                Some(DriveFault::Dead) => return Err(DevError::DriveDead { drive: d as u32 }),
+                Some(DriveFault::Hang) => return Err(DevError::DriveHung { drive: d as u32 }),
+                None => {}
+            }
+        }
+        Ok(())
     }
 
     /// Computes positioning + transfer time on a loaded volume.
@@ -375,7 +402,15 @@ impl Jukebox {
             None => {}
         }
         let (d, ready) = Self::ensure_loaded(inner, at, vol, writing, target)?;
-        let (position, transfer) = Self::media_io_time(inner, d, seg, writing);
+        let (position, mut transfer) = Self::media_io_time(inner, d, seg, writing);
+        // A degraded (slow) drive stretches its media transfers; it still
+        // completes work, so no watchdog fires for it.
+        if let Some(plan) = &inner.fault {
+            let factor = plan.drive_slow_factor(ready, d as u32);
+            if factor != 1.0 {
+                transfer = (transfer as f64 * factor).round() as SimTime;
+            }
+        }
         let (start, positioned) = inner.drives[d].res.acquire(ready, position);
         let seg_bytes = inner.cfg.segment_bytes as u64;
         let end = if let Some(bus) = &inner.bus {
@@ -570,6 +605,47 @@ impl Footprint for Jukebox {
 
     fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError> {
         self.erase_volume_inner(vol)
+    }
+
+    fn nominal_segment_io(&self, writing: bool) -> SimTime {
+        let inner = self.inner.borrow();
+        let seg_bytes = inner.cfg.segment_bytes as u64;
+        let span = inner.cfg.segments_per_volume as u64;
+        let media = match inner.cfg.media {
+            MediaKind::MagnetoOptic(p) | MediaKind::Worm(p) => {
+                p.per_io_overhead
+                    + p.seek_time(span, span)
+                    + p.rot_latency()
+                    + p.transfer(seg_bytes, writing)
+            }
+            MediaKind::Tape(p) => p.seek_time(span * seg_bytes) + p.transfer(seg_bytes),
+        };
+        inner.cfg.volume_change_time + media
+    }
+
+    fn abandon_drive(&self, at: SimTime, drive: usize) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(d) = inner.drives.get_mut(drive) {
+            d.loaded = None;
+            d.head = 0;
+            d.last_used = at;
+        }
+    }
+
+    fn probe_drive(&self, at: SimTime, drive: usize) -> bool {
+        let inner = self.inner.borrow();
+        if drive >= inner.drives.len() {
+            return false;
+        }
+        match &inner.fault {
+            Some(plan) => plan.drive_healthy(at, drive as u32),
+            None => true,
+        }
+    }
+
+    fn drive_busy_until(&self, drive: usize) -> SimTime {
+        let inner = self.inner.borrow();
+        inner.drives.get(drive).map_or(0, |d| d.res.free_at())
     }
 }
 
@@ -863,6 +939,105 @@ mod tests {
         // Reads are unaffected by the write-fault rate.
         let mut back = vec![0u8; jb.segment_bytes()];
         jb.read_segment(0, 0, 0, &mut back).unwrap();
+    }
+
+    #[test]
+    fn dead_drive_fails_ops_and_abandon_frees_the_platter() {
+        use hl_vdev::FaultConfig;
+        let jb = hp6300();
+        let plan = FaultPlan::new(FaultConfig::none(7));
+        plan.fail_drive_at(1, secs(10.0));
+        jb.set_fault_plan(plan);
+        let seg = vec![3u8; jb.segment_bytes()];
+        jb.poke_segment(1, 0, &seg).unwrap();
+        let mut buf = vec![0u8; jb.segment_bytes()];
+        // Before the death the targeted read works and loads drive 1.
+        let (r, d) = jb.read_segment_on(0, 1, 1, 0, &mut buf).unwrap();
+        assert_eq!(d, 1);
+        // After the death, ops routed to drive 1 fail fast — even via the
+        // already-loaded path — and no robot or media time is charged.
+        let swaps = jb.stats().swaps;
+        assert!(matches!(
+            jb.read_segment_on(r.end, 1, 1, 0, &mut buf),
+            Err(DevError::DriveDead { drive: 1 })
+        ));
+        assert_eq!(jb.stats().swaps, swaps);
+        assert!(!jb.probe_drive(r.end, 1));
+        assert!(jb.probe_drive(r.end, 0));
+        // Abandoning the drive drops the platter so a surviving lane can
+        // swap it into its own drive.
+        jb.abandon_drive(r.end, 1);
+        assert_eq!(jb.loaded_volumes()[1], None);
+        let (_, d0) = jb.read_segment_on(r.end, 0, 1, 0, &mut buf).unwrap();
+        assert_eq!(d0, 0);
+        assert_eq!(buf, seg);
+    }
+
+    #[test]
+    fn hung_drive_recovers_after_its_window() {
+        use hl_vdev::FaultConfig;
+        let jb = hp6300();
+        let plan = FaultPlan::new(FaultConfig::none(7));
+        plan.hang_drive_at(0, secs(5.0), secs(10.0));
+        jb.set_fault_plan(plan);
+        let seg = vec![4u8; jb.segment_bytes()];
+        assert!(matches!(
+            jb.write_segment(secs(6.0), 0, 0, &seg),
+            Err(DevError::DriveHung { drive: 0 })
+        ));
+        assert!(!jb.probe_drive(secs(6.0), 0));
+        // Outside the window the drive services ops again: hot spare.
+        assert!(jb.probe_drive(secs(20.0), 0));
+        assert!(jb.write_segment(secs(20.0), 0, 0, &seg).is_ok());
+    }
+
+    #[test]
+    fn robot_jam_stalls_swaps_until_the_window_ends() {
+        use hl_vdev::FaultConfig;
+        let jb = hp6300();
+        let plan = FaultPlan::new(FaultConfig::none(7));
+        plan.jam_robot_during(0, secs(30.0));
+        jb.set_fault_plan(plan);
+        let seg = vec![5u8; jb.segment_bytes()];
+        let w = jb.write_segment(0, 0, 0, &seg).unwrap();
+        // The platter could not be loaded before the jam cleared, so the
+        // transfer starts after jam end + swap.
+        assert!(
+            w.start >= secs(30.0) + jb.volume_change_time(),
+            "swap ran during jam: start {}",
+            w.start
+        );
+    }
+
+    #[test]
+    fn slow_drive_stretches_transfers_without_erroring() {
+        use hl_vdev::FaultConfig;
+        let jb = hp6300();
+        let plan = FaultPlan::new(FaultConfig::none(7));
+        plan.slow_drive_from(0, 3.0, 0);
+        jb.set_fault_plan(plan);
+        let seg = vec![6u8; jb.segment_bytes()];
+        let w1 = jb.write_segment(0, 0, 0, &seg).unwrap();
+        let w2 = jb.write_segment(w1.end, 0, 1, &seg).unwrap();
+        let nominal = DiskProfile::HP6300_MO.transfer(1024 * 1024, true);
+        assert!(
+            w2.duration() >= 3 * nominal,
+            "slow factor not applied: {} < {}",
+            w2.duration(),
+            3 * nominal
+        );
+    }
+
+    #[test]
+    fn nominal_segment_io_bounds_one_op() {
+        let jb = hp6300();
+        // Swap + worst-case position + transfer: more than a bare swap,
+        // less than a minute for the HP 6300.
+        let n = jb.nominal_segment_io(false);
+        assert!(n > jb.volume_change_time());
+        assert!(n < secs(60.0));
+        // Writes are slower than reads on MO media.
+        assert!(jb.nominal_segment_io(true) > n);
     }
 
     #[test]

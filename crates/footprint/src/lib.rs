@@ -127,4 +127,37 @@ pub trait Footprint {
     /// Erases a volume so its slots may be rewritten (tertiary cleaning,
     /// §10). Fails on write-once media.
     fn erase_volume(&self, vol: VolumeId) -> Result<(), DevError>;
+
+    /// Nominal duration of one whole-segment operation on a healthy
+    /// drive: a volume change plus the media transfer. The I/O server's
+    /// watchdog deadline is this times a slack factor. The default is a
+    /// generous constant for devices that don't model their media.
+    fn nominal_segment_io(&self, writing: bool) -> SimTime {
+        let _ = writing;
+        self.volume_change_time() + hl_sim::time::secs(30.0)
+    }
+
+    /// Abandons whatever platter `drive` holds (the lane marked it down):
+    /// the volume is unloaded without robot involvement so surviving
+    /// drives can swap it in. The default is a no-op.
+    fn abandon_drive(&self, at: SimTime, drive: usize) {
+        let _ = (at, drive);
+    }
+
+    /// Health probe: `true` when `drive` would service an operation
+    /// started at `at`. Quarantined lanes poll this through their backoff
+    /// ladder before rejoining the pool. The default reports healthy.
+    fn probe_drive(&self, at: SimTime, drive: usize) -> bool {
+        let _ = (at, drive);
+        true
+    }
+
+    /// The drive's busy horizon: when its current media transfer ends
+    /// (0 if idle or unknown). A drive-down event is stamped no earlier
+    /// than this, so an already in-flight transfer on the victim drive
+    /// never appears to run on a downed lane. The default reports idle.
+    fn drive_busy_until(&self, drive: usize) -> SimTime {
+        let _ = drive;
+        0
+    }
 }

@@ -28,8 +28,19 @@
 //!    one transfer at a time; a back-to-back handoff at the same instant
 //!    is legal), no drive lane beyond the configured count appears, and
 //!    the number of simultaneously busy drive lanes never exceeds it.
+//! 7. **Drive health lifecycle** — `DriveDown`/`DriveUp` events pair up
+//!    per drive (no down-while-down, no up-while-up); no `DevIo`
+//!    interval on a lane intersects that lane's down window; watchdog
+//!    fires and re-dispatches reference spans that are open at the time;
+//!    and every span a watchdog fired for is later re-dispatched or
+//!    resolved (no orphaned waiter). With the drive-lane count given,
+//!    the cross-lane busy peak is additionally bounded by the *healthy*
+//!    drive count at each instant.
+//! 8. **Lane sharing** — when the configured jukebox drive count is
+//!    given and exceeds the engine's lane count, the silent sharing is
+//!    itself reported as a finding.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::{Class, Event, EventKind, Lane, LineTag, TraceTime, Tracer};
 
@@ -49,6 +60,11 @@ pub struct Expectations {
     /// `n` drive lanes may be busy at once. `None` skips the per-drive
     /// checks.
     pub drive_lanes: Option<usize>,
+    /// Number of drives the jukebox was *configured* with. When this
+    /// exceeds `drive_lanes` the engine silently shares lanes across
+    /// drives; `Some(n)` turns that into an explicit finding. `None`
+    /// skips the check.
+    pub configured_drives: Option<usize>,
     /// Require every span to be closed by the end of the trace (set
     /// `false` when checking mid-flight).
     pub require_all_closed: bool,
@@ -62,6 +78,7 @@ impl Expectations {
             wait: Some(wait),
             max_dev_overlap: Some(peak),
             drive_lanes: None,
+            configured_drives: None,
             require_all_closed: true,
         }
     }
@@ -70,6 +87,13 @@ impl Expectations {
     /// with `n` drive lanes.
     pub fn with_drive_lanes(mut self, n: usize) -> Expectations {
         self.drive_lanes = Some(n);
+        self
+    }
+
+    /// Declares the jukebox's configured drive count, enabling the
+    /// lane-sharing finding when it exceeds the engine's lane count.
+    pub fn with_configured_drives(mut self, n: usize) -> Expectations {
+        self.configured_drives = Some(n);
         self
     }
 }
@@ -208,9 +232,54 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
     let mut wait = [0u64; 5];
     // Device intervals, with the lane each occupied.
     let mut devops: Vec<(Lane, TraceTime, TraceTime)> = Vec::new();
+    // Drive health bookkeeping (down windows, watchdog/re-dispatch spans).
+    let mut health = HealthState::default();
 
     for ev in &events {
-        check_event(ev, &mut findings, &mut open, &mut ever_opened, &mut ever_closed, &mut lines, &mut wait, &mut devops);
+        check_event(
+            ev,
+            &mut findings,
+            &mut open,
+            &mut ever_opened,
+            &mut ever_closed,
+            &mut lines,
+            &mut wait,
+            &mut devops,
+            &mut health,
+        );
+    }
+    // Drives still down at the end of the trace close open-ended windows
+    // (legitimately: a dead drive may never come back).
+    for (d, since) in std::mem::take(&mut health.down) {
+        health.windows.push((d, since, TraceTime::MAX));
+    }
+    // Every watchdog-fired span must have been handed to another lane or
+    // resolved; otherwise its waiters are orphaned forever.
+    for &(seq, span) in &health.watchdogs {
+        if !health.redispatched.contains(&span) && !ever_closed.contains_key(&span) {
+            findings.push(Finding {
+                seq,
+                message: format!(
+                    "watchdog fired for span {span} but the op was neither re-dispatched nor resolved"
+                ),
+            });
+        }
+    }
+    // No device op may execute on a lane inside that lane's down window.
+    // An op *ending* exactly at the down time is clean: faults are
+    // detected at op start, so a successful transfer always precedes the
+    // detection-time DriveDown.
+    for &(lane, s, e) in &devops {
+        if let Lane::Drive(d) = lane {
+            let ee = if e > s { e } else { s.saturating_add(1) };
+            for &(wd, ws, we) in &health.windows {
+                if wd == d && s < we && ws < ee {
+                    findings.push(whole(format!(
+                        "device op at t{s}..t{e} on drive lane d{d}, which was down t{ws}..t{we}"
+                    )));
+                }
+            }
+        }
     }
 
     if expect.require_all_closed && !open.is_empty() {
@@ -275,8 +344,62 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
                 "{peak} drive-lane ops in flight at once, but the engine ran with {drives} drive(s)"
             )));
         }
+        // With down windows recorded, tighten the cross-lane bound to the
+        // *healthy* drive count at each instant: interval ends first,
+        // then health changes, then interval starts, so a handoff at the
+        // very moment a drive dies is judged fairly.
+        if !health.windows.is_empty() {
+            let mut sweep: Vec<(TraceTime, u8, i64)> = Vec::new();
+            for &(lane, s, e) in &devops {
+                if matches!(lane, Lane::Drive(_)) && e > s {
+                    sweep.push((s, 2, 1));
+                    sweep.push((e, 0, -1));
+                }
+            }
+            for &(_, ws, we) in &health.windows {
+                sweep.push((ws, 1, -1));
+                if we != TraceTime::MAX {
+                    sweep.push((we, 1, 1));
+                }
+            }
+            sweep.sort_unstable();
+            let (mut busy, mut healthy) = (0i64, drives as i64);
+            for (t, class, delta) in sweep {
+                match class {
+                    1 => healthy += delta,
+                    _ => busy += delta,
+                }
+                if class == 2 && busy > healthy.max(0) {
+                    findings.push(whole(format!(
+                        "{busy} drive-lane ops in flight at t{t} with only {healthy} healthy drive(s)"
+                    )));
+                    break;
+                }
+            }
+        }
+    }
+    if let (Some(configured), Some(lanes)) = (expect.configured_drives, expect.drive_lanes) {
+        if configured > lanes {
+            findings.push(whole(format!(
+                "jukebox configured with {configured} drives but the engine ran {lanes} lane(s): drives silently share lanes"
+            )));
+        }
     }
     findings
+}
+
+/// Drive-health state accumulated while replaying the trace.
+#[derive(Default)]
+struct HealthState {
+    /// Currently-down drives and when they went down.
+    down: BTreeMap<u32, TraceTime>,
+    /// Completed down windows: (drive, from, until) — `until` is
+    /// `TraceTime::MAX` for a drive still down at end of trace.
+    windows: Vec<(u32, TraceTime, TraceTime)>,
+    /// Watchdog fires: (event seq, span fired for).
+    watchdogs: Vec<(u64, u64)>,
+    /// Spans that were re-dispatched to another lane.
+    redispatched: BTreeSet<u64>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -289,6 +412,7 @@ fn check_event(
     lines: &mut BTreeMap<u64, LineTag>,
     wait: &mut [u64; 5],
     devops: &mut Vec<(Lane, TraceTime, TraceTime)>,
+    health: &mut HealthState,
 ) {
     let mut fail = |msg: String| {
         findings.push(Finding {
@@ -372,6 +496,27 @@ fn check_event(
                 fail(format!("device op runs backwards: {start}..{end}"));
             }
             devops.push((*lane, *start, *end));
+        }
+        EventKind::DriveDown { drive } => {
+            if health.down.insert(*drive, ev.at).is_some() {
+                fail(format!("drive d{drive} marked down while already down"));
+            }
+        }
+        EventKind::DriveUp { drive } => match health.down.remove(drive) {
+            Some(since) => health.windows.push((*drive, since, ev.at)),
+            None => fail(format!("drive d{drive} marked up but was not down")),
+        },
+        EventKind::WatchdogFire { span, .. } => {
+            if !open.contains_key(span) {
+                fail(format!("watchdog fired for span {span}, which is not open"));
+            }
+            health.watchdogs.push((ev.seq, *span));
+        }
+        EventKind::Redispatch { span, .. } => {
+            if !open.contains_key(span) {
+                fail(format!("re-dispatch of span {span}, which is not open"));
+            }
+            health.redispatched.insert(*span);
         }
         EventKind::Park { .. }
         | EventKind::Wake { .. }
@@ -531,6 +676,121 @@ mod tests {
         t.dev_io(Lane::Drive(1), 10, 90);
         t.dev_io(Lane::Staging, 20, 80);
         let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn fault_lifecycle_with_redispatch_is_clean() {
+        let t = Tracer::new();
+        // d0 hangs mid-op: watchdog fires, the lane goes down, the op is
+        // re-dispatched and completes on d1; d0 later heals (hot spare).
+        let s = t.open_span(0, Class::Demand, Some(9));
+        t.watchdog_fire(5_000, 0, s);
+        t.drive_down(5_000, 0);
+        t.redispatch(5_000, s, 0);
+        t.dev_io(Lane::Drive(1), 5_000, 9_000);
+        t.close_span(9_000, s, true);
+        t.drive_up(20_000, 0);
+        let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn drive_down_up_pairing_is_enforced() {
+        let t = Tracer::new();
+        t.drive_down(10, 0);
+        t.drive_down(20, 0);
+        t.drive_up(30, 0);
+        t.drive_up(40, 1);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("already down"));
+        assert!(f[1].message.contains("was not down"));
+    }
+
+    #[test]
+    fn dev_io_inside_a_down_window_is_a_finding() {
+        let t = Tracer::new();
+        t.dev_io(Lane::Drive(0), 50, 100);
+        t.drive_down(100, 0);
+        t.dev_io(Lane::Drive(0), 150, 180);
+        t.drive_up(200, 0);
+        t.dev_io(Lane::Drive(0), 200, 250);
+        let f = tracecheck(&t, &Expectations::default());
+        // Only the op inside the window fires: the op ending exactly at
+        // the down instant and the one starting at the up instant are
+        // legal boundary cases.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("down t100..t200"));
+    }
+
+    #[test]
+    fn dev_io_on_a_never_recovered_drive_is_a_finding() {
+        let t = Tracer::new();
+        t.drive_down(10, 2);
+        t.dev_io(Lane::Drive(2), 500, 600);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("drive lane d2"));
+    }
+
+    #[test]
+    fn watchdog_span_must_be_redispatched_or_resolved() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Prefetch, Some(3));
+        t.watchdog_fire(100, 1, s);
+        // Neither re-dispatched nor closed: its waiters are orphaned.
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("neither re-dispatched nor resolved"));
+        // A failed close still counts as resolving the waiters.
+        t.close_span(200, s, false);
+        assert!(tracecheck(&t, &Expectations::default()).is_empty());
+    }
+
+    #[test]
+    fn watchdog_and_redispatch_need_an_open_span() {
+        let t = Tracer::new();
+        t.watchdog_fire(10, 0, 77);
+        t.redispatch(11, 77, 0);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("watchdog fired for span 77"));
+        assert!(f[1].message.contains("re-dispatch of span 77"));
+    }
+
+    #[test]
+    fn busy_peak_is_bounded_by_healthy_drives() {
+        let t = Tracer::new();
+        t.drive_down(100, 0);
+        // d0 runs an op while down: both the window check and the
+        // healthy-count sweep object.
+        t.dev_io(Lane::Drive(0), 120, 200);
+        t.dev_io(Lane::Drive(1), 120, 200);
+        let f = tracecheck(&t, &Expectations::default().with_drive_lanes(2));
+        assert!(f.iter().any(|f| f.message.contains("healthy")), "{f:?}");
+        assert!(f.iter().any(|f| f.message.contains("was down")), "{f:?}");
+    }
+
+    #[test]
+    fn lane_sharing_is_reported_when_configured_drives_exceed_lanes() {
+        let t = Tracer::new();
+        t.dev_io(Lane::Drive(0), 0, 10);
+        let f = tracecheck(
+            &t,
+            &Expectations::default()
+                .with_drive_lanes(2)
+                .with_configured_drives(4),
+        );
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("silently share lanes"));
+        // Matching counts are clean.
+        let f = tracecheck(
+            &t,
+            &Expectations::default()
+                .with_drive_lanes(2)
+                .with_configured_drives(2),
+        );
         assert!(f.is_empty(), "{f:?}");
     }
 

@@ -255,6 +255,32 @@ pub enum EventKind {
         /// The breadcrumb.
         label: String,
     },
+    /// An I/O-server lane went down (hard fault or watchdog timeout).
+    DriveDown {
+        /// The failed drive lane.
+        drive: u32,
+    },
+    /// A quarantined lane's health probe succeeded: it rejoins the pool
+    /// as a hot spare.
+    DriveUp {
+        /// The recovered drive lane.
+        drive: u32,
+    },
+    /// A per-op watchdog deadline expired on an in-flight device op.
+    WatchdogFire {
+        /// The lane whose op timed out.
+        drive: u32,
+        /// The span of the orphaned request.
+        span: u64,
+    },
+    /// An orphaned device op was pushed back into the shared device
+    /// queue for a surviving lane to pick up.
+    Redispatch {
+        /// The span of the re-dispatched request.
+        span: u64,
+        /// The lane that abandoned the op.
+        from_drive: u32,
+    },
 }
 
 /// One recorded event: a sequence number (emission order), the simulated
@@ -303,6 +329,12 @@ impl Event {
             EventKind::Wake { actor } => format!("wake {actor}"),
             EventKind::Fault { label } => format!("fault {label}"),
             EventKind::Mark { label } => format!("mark {label}"),
+            EventKind::DriveDown { drive } => format!("ddn d{drive}"),
+            EventKind::DriveUp { drive } => format!("dup d{drive}"),
+            EventKind::WatchdogFire { drive, span } => format!("wdog d{drive} {span}"),
+            EventKind::Redispatch { span, from_drive } => {
+                format!("redisp {span} d{from_drive}")
+            }
         };
         format!("#{:06} t{} {body}", self.seq, self.at)
     }
@@ -356,6 +388,16 @@ impl Event {
             EventKind::Wake { actor } => format!("\"ev\":\"wake\",\"actor\":\"{}\"", esc(actor)),
             EventKind::Fault { label } => format!("\"ev\":\"fault\",\"label\":\"{}\"", esc(label)),
             EventKind::Mark { label } => format!("\"ev\":\"mark\",\"label\":\"{}\"", esc(label)),
+            EventKind::DriveDown { drive } => {
+                format!("\"ev\":\"drive_down\",\"drive\":{drive}")
+            }
+            EventKind::DriveUp { drive } => format!("\"ev\":\"drive_up\",\"drive\":{drive}"),
+            EventKind::WatchdogFire { drive, span } => {
+                format!("\"ev\":\"watchdog_fire\",\"drive\":{drive},\"span\":{span}")
+            }
+            EventKind::Redispatch { span, from_drive } => format!(
+                "\"ev\":\"redispatch\",\"span\":{span},\"from_drive\":{from_drive}"
+            ),
         };
         format!("{{\"seq\":{},\"at\":{},{body}}}", self.seq, self.at)
     }
@@ -375,6 +417,10 @@ impl Event {
             EventKind::Wake { .. } => "wake",
             EventKind::Fault { .. } => "fault",
             EventKind::Mark { .. } => "mark",
+            EventKind::DriveDown { .. } => "drive_down",
+            EventKind::DriveUp { .. } => "drive_up",
+            EventKind::WatchdogFire { .. } => "watchdog_fire",
+            EventKind::Redispatch { .. } => "redispatch",
         }
     }
 }
@@ -404,6 +450,14 @@ struct Recorder {
     closed: u64,
     /// Join events emitted.
     joins: u64,
+    /// [`EventKind::DriveDown`] events emitted.
+    drive_downs: u64,
+    /// [`EventKind::DriveUp`] events emitted.
+    drive_ups: u64,
+    /// [`EventKind::WatchdogFire`] events emitted.
+    watchdog_fires: u64,
+    /// [`EventKind::Redispatch`] events emitted.
+    redispatches: u64,
     /// Currently open spans (deterministic order for snapshots).
     open_spans: BTreeMap<u64, Class>,
     /// Spans that were already open at the last [`Recorder::reset`]:
@@ -425,6 +479,10 @@ impl Recorder {
             opened: [0; 5],
             closed: 0,
             joins: 0,
+            drive_downs: 0,
+            drive_ups: 0,
+            watchdog_fires: 0,
+            redispatches: 0,
             open_spans: BTreeMap::new(),
             baseline_open: Vec::new(),
         }
@@ -457,6 +515,10 @@ impl Recorder {
         self.opened = [0; 5];
         self.closed = 0;
         self.joins = 0;
+        self.drive_downs = 0;
+        self.drive_ups = 0;
+        self.watchdog_fires = 0;
+        self.redispatches = 0;
         self.baseline_open = self.open_spans.iter().map(|(&s, &c)| (s, c)).collect();
     }
 }
@@ -621,6 +683,34 @@ impl Tracer {
         );
     }
 
+    /// Records an I/O-server lane going down.
+    pub fn drive_down(&self, at: TraceTime, drive: u32) {
+        let mut r = self.rec.borrow_mut();
+        r.drive_downs += 1;
+        r.emit(at, EventKind::DriveDown { drive });
+    }
+
+    /// Records a quarantined lane rejoining the pool as a hot spare.
+    pub fn drive_up(&self, at: TraceTime, drive: u32) {
+        let mut r = self.rec.borrow_mut();
+        r.drive_ups += 1;
+        r.emit(at, EventKind::DriveUp { drive });
+    }
+
+    /// Records a watchdog deadline expiring on an in-flight device op.
+    pub fn watchdog_fire(&self, at: TraceTime, drive: u32, span: u64) {
+        let mut r = self.rec.borrow_mut();
+        r.watchdog_fires += 1;
+        r.emit(at, EventKind::WatchdogFire { drive, span });
+    }
+
+    /// Records an orphaned device op re-entering the shared queue.
+    pub fn redispatch(&self, at: TraceTime, span: u64, from_drive: u32) {
+        let mut r = self.rec.borrow_mut();
+        r.redispatches += 1;
+        r.emit(at, EventKind::Redispatch { span, from_drive });
+    }
+
     // ------------------------------------------------------------------
     // Observation
     // ------------------------------------------------------------------
@@ -676,6 +766,26 @@ impl Tracer {
     /// Join events recorded.
     pub fn joins(&self) -> u64 {
         self.rec.borrow().joins
+    }
+
+    /// [`EventKind::DriveDown`] events recorded.
+    pub fn drive_downs(&self) -> u64 {
+        self.rec.borrow().drive_downs
+    }
+
+    /// [`EventKind::DriveUp`] events recorded.
+    pub fn drive_ups(&self) -> u64 {
+        self.rec.borrow().drive_ups
+    }
+
+    /// [`EventKind::WatchdogFire`] events recorded.
+    pub fn watchdog_fires(&self) -> u64 {
+        self.rec.borrow().watchdog_fires
+    }
+
+    /// [`EventKind::Redispatch`] events recorded.
+    pub fn redispatches(&self) -> u64 {
+        self.rec.borrow().redispatches
     }
 
     /// Currently open spans, in id order.
@@ -802,6 +912,27 @@ mod tests {
         // The stale span's close is still recorded cleanly.
         t.close_span(9, a, true);
         assert!(t.open_spans().is_empty());
+    }
+
+    #[test]
+    fn drive_health_events_render_and_count() {
+        let t = Tracer::new();
+        t.drive_down(10, 1);
+        t.watchdog_fire(10, 1, 7);
+        t.redispatch(11, 7, 1);
+        t.drive_up(50, 1);
+        assert_eq!(t.drive_downs(), 1);
+        assert_eq!(t.drive_ups(), 1);
+        assert_eq!(t.watchdog_fires(), 1);
+        assert_eq!(t.redispatches(), 1);
+        let text = t.render_text();
+        assert_eq!(text[0], "#000000 t10 ddn d1");
+        assert_eq!(text[1], "#000001 t10 wdog d1 7");
+        assert_eq!(text[2], "#000002 t11 redisp 7 d1");
+        assert_eq!(text[3], "#000003 t50 dup d1");
+        assert!(t.render_json().contains("\"ev\":\"watchdog_fire\""));
+        t.reset();
+        assert_eq!(t.drive_downs(), 0);
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub enum DevError {
         /// Provided length in bytes.
         got: usize,
     },
+    /// The jukebox drive that would execute this operation has failed
+    /// hard (injected; it stays dead until replaced).
+    DriveDead {
+        /// The failed drive.
+        drive: u32,
+    },
+    /// The jukebox drive hung mid-operation: the op never completes and
+    /// the caller's watchdog must fire. The drive may heal later.
+    DriveHung {
+        /// The hung drive.
+        drive: u32,
+    },
 }
 
 impl fmt::Display for DevError {
@@ -68,6 +80,8 @@ impl fmt::Display for DevError {
             DevError::BadBuffer { expected, got } => {
                 write!(f, "buffer length {got} does not match I/O size {expected}")
             }
+            DevError::DriveDead { drive } => write!(f, "drive d{drive} is dead"),
+            DevError::DriveHung { drive } => write!(f, "drive d{drive} hung mid-operation"),
         }
     }
 }

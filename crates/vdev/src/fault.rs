@@ -89,6 +89,18 @@ pub enum SwapFault {
     Failed,
 }
 
+/// What the plan decided to inject on an operation routed to a drive.
+/// Drive faults are scripted-only (no RNG draw), so adding them to a
+/// plan never perturbs the seeded media-fault stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriveFault {
+    /// The drive has failed hard and stays dead.
+    Dead,
+    /// The drive hangs: the op never completes (a watchdog must fire).
+    /// It heals on its own when the scripted hang window ends.
+    Hang,
+}
+
 /// One injected fault, in injection order.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Injected {
@@ -140,6 +152,27 @@ pub enum Injected {
         /// Failing block.
         block: u64,
     },
+    /// A scripted hard drive failure, logged at first detection.
+    DriveDead {
+        /// Detection time (first op routed to the dead drive).
+        at: SimTime,
+        /// The failed drive.
+        drive: u32,
+    },
+    /// A scripted drive hang fired on an operation.
+    DriveHang {
+        /// Injection time.
+        at: SimTime,
+        /// The hung drive.
+        drive: u32,
+    },
+    /// A robot jam window stalled a swap.
+    RobotJam {
+        /// The stalled swap's start time.
+        at: SimTime,
+        /// When the robot unjams and the swap can proceed.
+        until: SimTime,
+    },
 }
 
 struct PlanInner {
@@ -151,6 +184,19 @@ struct PlanInner {
     /// Volumes this plan has already permanently failed (scripted kills
     /// fire once; probabilistic kills don't re-fire on a dead volume).
     killed: Vec<u32>,
+    /// Scripted hard drive failures: `(drive, from)`; permanent.
+    drive_deaths: Vec<(u32, SimTime)>,
+    /// Drives whose death has already been logged (detection fires once).
+    dead_logged: Vec<u32>,
+    /// Scripted drive hangs: `(drive, from, until)`; ops started inside
+    /// the window hang, and the drive heals at `until`.
+    drive_hangs: Vec<(u32, SimTime, SimTime)>,
+    /// Scripted degradation: `(drive, factor, from)` — media transfers on
+    /// the drive take `factor`× their nominal time from `from` onward.
+    drive_slows: Vec<(u32, f64, SimTime)>,
+    /// Robot jam windows `(from, until)`: swaps started inside a window
+    /// stall until it ends (the arm is stuck holding a platter).
+    robot_jams: Vec<(SimTime, SimTime)>,
     log: Vec<Injected>,
     /// Optional trace recorder: each injected fault leaves a `fault`
     /// event so traces can be correlated with recovery activity.
@@ -181,6 +227,11 @@ impl FaultPlan {
                 cfg,
                 scripted_kills: Vec::new(),
                 killed: Vec::new(),
+                drive_deaths: Vec::new(),
+                dead_logged: Vec::new(),
+                drive_hangs: Vec::new(),
+                drive_slows: Vec::new(),
+                robot_jams: Vec::new(),
                 log: Vec::new(),
                 tracer: None,
             })),
@@ -202,6 +253,102 @@ impl FaultPlan {
     /// Volumes this plan has permanently failed so far.
     pub fn killed_volumes(&self) -> Vec<u32> {
         self.inner.borrow().killed.clone()
+    }
+
+    /// Scripts a hard drive failure: every operation routed to `drive`
+    /// at or after `at` fails with [`DriveFault::Dead`]. Scripted-only —
+    /// no RNG draw, so the seeded media-fault stream is unperturbed.
+    pub fn fail_drive_at(&self, drive: u32, at: SimTime) {
+        self.inner.borrow_mut().drive_deaths.push((drive, at));
+    }
+
+    /// Scripts a drive hang: operations routed to `drive` inside
+    /// `[at, at + dur)` hang ([`DriveFault::Hang`]); the drive heals at
+    /// `at + dur` (health probes start succeeding again).
+    pub fn hang_drive_at(&self, drive: u32, at: SimTime, dur: SimTime) {
+        self.inner
+            .borrow_mut()
+            .drive_hangs
+            .push((drive, at, at.saturating_add(dur)));
+    }
+
+    /// Scripts degradation: media transfers on `drive` starting at or
+    /// after `at` take `factor`× their nominal time.
+    pub fn slow_drive_from(&self, drive: u32, factor: f64, at: SimTime) {
+        self.inner.borrow_mut().drive_slows.push((drive, factor, at));
+    }
+
+    /// Scripts a robot jam: swaps started inside `[at, at + dur)` stall
+    /// until the window ends (the arm is stuck while loaded).
+    pub fn jam_robot_during(&self, at: SimTime, dur: SimTime) {
+        self.inner
+            .borrow_mut()
+            .robot_jams
+            .push((at, at.saturating_add(dur)));
+    }
+
+    /// Decides the fate of an operation routed to `drive` at `at`.
+    /// Consults only the scripted drive-fault schedule (never the RNG).
+    pub fn on_drive_op(&self, at: SimTime, drive: u32) -> Option<DriveFault> {
+        let mut p = self.inner.borrow_mut();
+        let p = &mut *p;
+        if p.drive_deaths.iter().any(|&(d, t)| d == drive && at >= t) {
+            if !p.dead_logged.contains(&drive) {
+                p.dead_logged.push(drive);
+                p.log.push(Injected::DriveDead { at, drive });
+                p.trace(at, &format!("drive dead d{drive}"));
+            }
+            return Some(DriveFault::Dead);
+        }
+        if p.drive_hangs
+            .iter()
+            .any(|&(d, from, until)| d == drive && at >= from && at < until)
+        {
+            p.log.push(Injected::DriveHang { at, drive });
+            p.trace(at, &format!("drive hang d{drive}"));
+            return Some(DriveFault::Hang);
+        }
+        None
+    }
+
+    /// Health probe: `true` when `drive` would service an op started at
+    /// `at` (not dead, not inside a hang window). Draws nothing and logs
+    /// nothing — probing is free to repeat.
+    pub fn drive_healthy(&self, at: SimTime, drive: u32) -> bool {
+        let p = self.inner.borrow();
+        !p.drive_deaths.iter().any(|&(d, t)| d == drive && at >= t)
+            && !p
+                .drive_hangs
+                .iter()
+                .any(|&(d, from, until)| d == drive && at >= from && at < until)
+    }
+
+    /// Degradation factor for a media transfer on `drive` at `at`
+    /// (1.0 = nominal). Multiple overlapping slowdowns compound.
+    pub fn drive_slow_factor(&self, at: SimTime, drive: u32) -> f64 {
+        self.inner
+            .borrow()
+            .drive_slows
+            .iter()
+            .filter(|&&(d, _, from)| d == drive && at >= from)
+            .map(|&(_, f, _)| f)
+            .product()
+    }
+
+    /// If a swap started at `at` falls inside a robot jam window,
+    /// returns when the robot unjams (the swap may proceed then).
+    pub fn robot_jam_until(&self, at: SimTime) -> Option<SimTime> {
+        let mut p = self.inner.borrow_mut();
+        let p = &mut *p;
+        let until = p
+            .robot_jams
+            .iter()
+            .filter(|&&(from, until)| at >= from && at < until)
+            .map(|&(_, until)| until)
+            .max()?;
+        p.log.push(Injected::RobotJam { at, until });
+        p.trace(at, &format!("robot jam until t{until}"));
+        Some(until)
     }
 
     /// Every fault injected so far, in injection order. Same seed and
@@ -384,6 +531,74 @@ mod tests {
         assert_eq!(
             plan.injected(),
             vec![Injected::MediaFailure { at: 1000, vol: 3 }]
+        );
+    }
+
+    #[test]
+    fn scripted_drive_faults_fire_without_touching_the_rng() {
+        let a = noisy(42);
+        let b = noisy(42);
+        // b carries drive faults; a does not. The media streams stay
+        // identical because drive faults never draw from the RNG.
+        b.fail_drive_at(1, 500);
+        b.hang_drive_at(0, 100, 300);
+        b.slow_drive_from(2, 3.0, 0);
+        for t in 0..200u64 {
+            assert_eq!(a.on_read(t, 1, 2), b.on_read(t, 1, 2));
+            assert_eq!(a.on_swap(t, 3), b.on_swap(t, 3));
+        }
+        assert_eq!(b.on_drive_op(499, 1), None, "not yet due");
+        assert_eq!(b.on_drive_op(500, 1), Some(DriveFault::Dead));
+        assert_eq!(b.on_drive_op(600, 1), Some(DriveFault::Dead), "stays dead");
+        assert_eq!(b.on_drive_op(50, 0), None);
+        assert_eq!(b.on_drive_op(100, 0), Some(DriveFault::Hang));
+        assert_eq!(b.on_drive_op(400, 0), None, "healed after the window");
+        assert!(!b.drive_healthy(600, 1));
+        assert!(b.drive_healthy(200, 2));
+        assert!(!b.drive_healthy(250, 0));
+        assert!(b.drive_healthy(400, 0));
+        assert_eq!(b.drive_slow_factor(10, 2), 3.0);
+        assert_eq!(b.drive_slow_factor(10, 0), 1.0);
+        // Dead detection logs once; each hang fire logs.
+        let drive_faults: Vec<_> = b
+            .injected()
+            .into_iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Injected::DriveDead { .. } | Injected::DriveHang { .. }
+                )
+            })
+            .collect();
+        assert_eq!(
+            drive_faults,
+            vec![
+                Injected::DriveDead { at: 500, drive: 1 },
+                Injected::DriveHang { at: 100, drive: 0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn robot_jam_window_stalls_swaps_until_it_ends() {
+        let plan = FaultPlan::new(FaultConfig::none(9));
+        plan.jam_robot_during(1_000, 500);
+        assert_eq!(plan.robot_jam_until(999), None);
+        assert_eq!(plan.robot_jam_until(1_000), Some(1_500));
+        assert_eq!(plan.robot_jam_until(1_499), Some(1_500));
+        assert_eq!(plan.robot_jam_until(1_500), None);
+        assert_eq!(
+            plan.injected(),
+            vec![
+                Injected::RobotJam {
+                    at: 1_000,
+                    until: 1_500
+                },
+                Injected::RobotJam {
+                    at: 1_499,
+                    until: 1_500
+                },
+            ]
         );
     }
 

@@ -35,7 +35,7 @@ pub use bus::ScsiBus;
 pub use crash::{every_crash_point, CrashDev, CrashPlan, TornWrite};
 pub use disk::{Disk, DiskStats};
 pub use error::DevError;
-pub use fault::{FaultConfig, FaultPlan, FaultyDev, Injected, MediaFault, SwapFault};
+pub use fault::{DriveFault, FaultConfig, FaultPlan, FaultyDev, Injected, MediaFault, SwapFault};
 pub use profile::{DiskProfile, TapeProfile};
 pub use stripe::{Concat, Stripe};
 pub use tape::TapeDrive;

@@ -7,14 +7,21 @@
 //! the tracecheck engine, which now enforces the tightened per-drive
 //! invariant (ops on one drive lane never overlap; concurrency across
 //! lanes is bounded by the drive count).
+//!
+//! The degraded-mode tests (DESIGN.md §6f) script drive faults into the
+//! jukebox: a dead drive's orphaned op re-dispatches to the survivor, a
+//! hung drive trips the watchdog and rejoins as a hot spare when it
+//! heals, and a dead solo pool retires and surfaces errors instead of
+//! hanging.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use highlight::{EjectPolicy, SegCache, TertiaryIo, TsegTable, UniformMap};
 use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+use hl_lfs::config::AddressMap;
 use hl_sim::Scheduler;
-use hl_vdev::{Disk, DiskProfile};
+use hl_vdev::{Disk, DiskProfile, FaultConfig, FaultPlan};
 
 /// 64 disk segments, 4 volumes × 8 slots, 1 MB segments, `drives`
 /// jukebox drives, and a roomy cache.
@@ -215,4 +222,145 @@ fn pool_schedule_is_byte_deterministic_per_seed() {
     assert_eq!(la, lb, "transcripts diverged between identical runs");
     assert_eq!(ta, tb, "transcript digests diverged");
     assert_eq!(da, db, "trace digests diverged");
+}
+
+/// Primes volumes 0 and 1 into a 2-drive pool with `oracle` bytes in
+/// their first four slots; returns the engine, jukebox, map, the quiesce
+/// time, and the volume drive 1 ended up holding.
+fn primed_two_drive_rig(oracle: &[u8]) -> (TertiaryIo, Jukebox, UniformMap, u64, u32) {
+    let (tio, jb, map) = rig(2);
+    for vol in 0..2 {
+        for slot in 0..4 {
+            jb.poke_segment(vol, slot, oracle).unwrap();
+        }
+    }
+    let pa = tio.enqueue_demand(0, map.tert_seg(0, 0));
+    let pb = tio.enqueue_demand(0, map.tert_seg(1, 0));
+    tio.pump();
+    let (_, ra) = pa.fetch_result().unwrap();
+    let (_, rb) = pb.fetch_result().unwrap();
+    let vol1 = jb.loaded_volumes()[1].expect("drive 1 holds a platter");
+    (tio, jb, map, ra.max(rb), vol1)
+}
+
+/// A drive dies with a demand fetch routed at it: the observing lane
+/// marks it down, abandons its platter, and the orphaned op re-runs on
+/// the surviving drive — same ticket, byte-identical contents.
+#[test]
+fn drive_death_mid_fetch_redispatches_to_survivor() {
+    let oracle: Vec<u8> = (0..1usize << 20).map(|i| (i as u8).wrapping_mul(3)).collect();
+    let (tio, jb, map, t0, vol1) = primed_two_drive_rig(&oracle);
+    let plan = FaultPlan::new(FaultConfig::none(11));
+    plan.fail_drive_at(1, t0);
+    jb.set_fault_plan(plan);
+    // This fetch's platter sits in the (now dead) drive 1, so affinity
+    // routes it straight into the fault.
+    let t = tio.enqueue_demand(t0 + 1, map.tert_seg(vol1, 1));
+    tio.pump();
+    let (disk_seg, _) = t.fetch_result().expect("the survivor must serve the fetch");
+    let mut back = vec![0u8; oracle.len()];
+    tio.disks_handle()
+        .peek(map.seg_base(disk_seg) as u64, &mut back)
+        .unwrap();
+    assert_eq!(back, oracle, "re-dispatched fetch returned wrong bytes");
+    let st = tio.stats();
+    assert_eq!(st.drive_down, 1, "exactly one down event");
+    assert!(st.redispatched >= 1, "the orphan must be re-dispatched");
+    assert_eq!(st.watchdog_fired, 0, "a dead drive fails fast, no watchdog");
+    assert_eq!(tio.lane_health(), vec![true, false]);
+    assert_clean(&tio);
+}
+
+/// A hung drive trips the watchdog (nominal op time × slack), the op
+/// re-dispatches, and once the hang window clears the quarantined lane's
+/// probe ladder brings it back as a hot spare that takes new work.
+#[test]
+fn watchdog_fires_on_hang_and_the_spare_rejoins() {
+    let oracle: Vec<u8> = (0..1usize << 20).map(|i| (i as u8).wrapping_mul(5)).collect();
+    let (tio, jb, map, t0, vol1) = primed_two_drive_rig(&oracle);
+    let plan = FaultPlan::new(FaultConfig::none(13));
+    plan.hang_drive_at(1, t0, hl_sim::time::secs(30.0));
+    jb.set_fault_plan(plan);
+    let t = tio.enqueue_demand(t0 + 1, map.tert_seg(vol1, 1));
+    tio.pump();
+    let (_, end) = t.fetch_result().expect("re-dispatch must complete the fetch");
+    let st = tio.stats();
+    assert!(st.watchdog_fired >= 1, "the hang must trip the watchdog");
+    assert_eq!(st.drive_down, 1);
+    assert!(st.redispatched >= 1);
+    // The hang healed before the first probe, so the lane rejoined.
+    assert_eq!(tio.tracer().drive_ups(), 1, "the healed drive must rejoin");
+    assert_eq!(tio.lane_health(), vec![true, true]);
+    // The rejoined spare serves fresh work: the failover swap pulled
+    // the abandoned platter into drive 0 and ejected the other volume,
+    // so a fetch of that volume needs a fresh swap — the idle spare
+    // steps first and takes it.
+    let other = 1 - vol1;
+    let ops_before = tio.stats().drive_ops[1];
+    let t2 = tio.enqueue_demand(end, map.tert_seg(other, 2));
+    tio.pump();
+    t2.fetch_result().expect("post-rejoin fetch");
+    assert!(
+        tio.stats().drive_ops[1] > ops_before,
+        "the rejoined spare never took work"
+    );
+    assert_clean(&tio);
+}
+
+/// The solo drive dies: its probe ladder runs dry, the lane retires,
+/// and the drained pool fails the queued ticket instead of hanging the
+/// waiter (or panicking).
+#[test]
+fn solo_drive_death_retires_the_pool_and_fails_tickets() {
+    let (tio, jb, map) = rig(1);
+    jb.poke_segment(0, 0, &vec![9u8; 1 << 20]).unwrap();
+    let plan = FaultPlan::new(FaultConfig::none(17));
+    plan.fail_drive_at(0, 0);
+    jb.set_fault_plan(plan);
+    let t = tio.enqueue_demand(0, map.tert_seg(0, 0));
+    tio.pump();
+    assert!(
+        t.fetch_result().is_err(),
+        "a dead pool must surface the error"
+    );
+    let st = tio.stats();
+    assert_eq!(st.drive_down, 1);
+    assert_eq!(tio.lane_health(), vec![false]);
+    assert_clean(&tio);
+}
+
+
+/// A jukebox with more drives than the engine has lanes used to share
+/// lanes silently; now `SvcStats` flags it and tracecheck reports it.
+#[test]
+fn lane_sharing_is_flagged_when_drives_exceed_lanes() {
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            drives: highlight::MAX_DRIVES + 1,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (40..52).collect::<Vec<_>>(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg);
+    jb.poke_segment(0, 0, &vec![1u8; 1 << 20]).unwrap();
+    let t = tio.enqueue_demand(0, map.tert_seg(0, 0));
+    tio.pump();
+    t.fetch_result().unwrap();
+    assert!(tio.stats().lanes_shared, "SvcStats must flag lane sharing");
+    let findings = tio.trace_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.to_string().contains("share lanes")),
+        "tracecheck must report the silent lane sharing: {findings:?}"
+    );
 }

@@ -1,6 +1,8 @@
-//! Crash-recovery edge cases on the base LFS: stale summaries in reused
-//! segments, torn checkpoint slots, and a crash during the checkpoint
-//! write itself.
+//! Crash-recovery edge cases on the base LFS — stale summaries in
+//! reused segments, torn checkpoint slots, and a crash during the
+//! checkpoint write itself — plus the tertiary engine's degraded-mode
+//! edge (DESIGN.md §6f): the writer lane dying mid copy-out stream and
+//! the mantle failing over to a spare drive.
 
 use std::rc::Rc;
 
@@ -210,4 +212,92 @@ fn crash_during_checkpoint_write_keeps_a_valid_checkpoint() {
     assert!(buf.iter().all(|&b| b == 0x41));
     lfs.reap_orphans().expect("reap");
     assert!(lfs.check().expect("check").clean());
+}
+
+/// The writer lane (drive 0) dies with copy-outs queued: the writer
+/// mantle falls to the surviving drive, the orphaned op re-dispatches,
+/// and every staged segment lands on tertiary media byte-identical.
+#[test]
+fn writer_lane_death_fails_over_copyouts_to_a_spare() {
+    use std::cell::RefCell;
+
+    use highlight::segcache::{EjectPolicy, LineState, SegCache};
+    use highlight::{TertiaryIo, TsegTable, UniformMap};
+    use hl_footprint::{Footprint, Jukebox, JukeboxConfig};
+    use hl_vdev::{FaultConfig, FaultPlan};
+
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 64 * 256, None));
+    let map = UniformMap::new(2, 256, 64, 4, 8);
+    let jb = Jukebox::new(
+        JukeboxConfig {
+            volumes: 4,
+            segments_per_volume: 8,
+            drives: 2,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cache = Rc::new(RefCell::new(SegCache::new(
+        (40..52).collect::<Vec<_>>(),
+        EjectPolicy::Lru,
+    )));
+    let tseg = Rc::new(RefCell::new(TsegTable::new()));
+    let tio = TertiaryIo::new(map, Rc::new(jb.clone()), disk.clone(), cache, tseg);
+
+    // Drive 0 — the writer — is dead from the start; the engine only
+    // discovers it when the first copy-out routes there.
+    let plan = FaultPlan::new(FaultConfig::none(23));
+    plan.fail_drive_at(0, 0);
+    jb.set_fault_plan(plan);
+
+    // Stage two dirty lines the way the migrator does: claim a cache
+    // line, lay the segment image at its staging home, seal it.
+    use hl_lfs::config::AddressMap;
+    let mut images = Vec::new();
+    let mut tickets = Vec::new();
+    for i in 0..2u32 {
+        let seg = map.tert_seg(2, i);
+        let (disk_seg, _) = tio
+            .cache()
+            .borrow_mut()
+            .allocate(seg, LineState::Staging, 0)
+            .expect("staging line");
+        let image = vec![0x30 + i as u8; 1 << 20];
+        disk.poke(map.seg_base(disk_seg) as u64, &image)
+            .expect("poke staging image");
+        tio.cache().borrow_mut().set_state(seg, LineState::DirtyWait);
+        tickets.push((i, tio.enqueue_copy_out(0, seg)));
+        images.push(image);
+    }
+    tio.pump();
+
+    for (i, ticket) in &tickets {
+        ticket
+            .copyout_result()
+            .expect("the spare writer must land the copy-out");
+        let mut back = vec![0u8; 1 << 20];
+        jb.peek_segment(2, *i, &mut back).expect("peek tertiary");
+        assert_eq!(
+            back, images[*i as usize],
+            "copy-out {i} bytes diverged after writer failover"
+        );
+    }
+    let st = tio.stats();
+    assert_eq!(st.drive_down, 1, "drive 0 must go down exactly once");
+    assert!(st.redispatched >= 1, "the orphaned copy-out must re-run");
+    assert!(
+        st.drive_ops[1] >= 2,
+        "the spare must have served both copy-outs"
+    );
+    assert_eq!(tio.lane_health(), vec![false, true]);
+    let findings = tio.trace_findings();
+    assert!(
+        findings.is_empty(),
+        "tracecheck findings:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 }
