@@ -32,9 +32,18 @@ echo "==> drive-pool suite (tests/drive_pool.rs)"
 cargo test -q --test drive_pool
 
 # Drive-fault property arm: random drive-fault plan × demand workload
-# must lose no tickets, match the byte oracle, and replay clean.
+# must lose no tickets, match the byte oracle, and replay clean — plus
+# the scenario × fault arm: any small adversarial scenario crossed with
+# any scripted fault survives with a clean oracle and zero findings.
 echo "==> fault property suite (tests/fault_props.rs)"
 cargo test -q --test fault_props
+
+# Adversarial scenario tests (DESIGN.md §6g): the flash-crowd
+# coalescing contract (N concurrent demands of one cold segment = one
+# media read), scan coverage, tenant thrash, seed determinism, and the
+# fault-composed runs.
+echo "==> adversarial scenario suite (tests/scenarios.rs)"
+cargo test -q --test scenarios
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
@@ -72,14 +81,15 @@ if ! echo "$t4" | grep -q "Tracecheck: 0 findings"; then
 fi
 
 # Drive-pool ablation smoke: migration + foreground demand reads at
-# 1/2/4 drives. The bench prints "Ablation checks" lines — adding the
-# second drive must never cost wall-clock or demand residency; any
-# "false" fails the gate. It also writes BENCH_pipeline.json, which
-# must exist and parse.
-echo "==> drive-pool ablation smoke (2-drive wall-clock <= 1-drive)"
+# 1/2/4 drives, in two suites — the original 1-hot-volume stream
+# (saturates at 2 drives) and the 4-hot-volume variant whose 2→4-drive
+# step must keep paying off. The bench prints "Ablation checks" lines —
+# any "false" fails the gate. It also writes BENCH_pipeline.json, which
+# must exist and parse with both suites.
+echo "==> drive-pool ablation smoke (narrow + 4-hot-volume suites)"
 dp=$(cargo bench -q -p hl-bench --bench drive_pool 2>&1)
-echo "$dp" | grep -A 4 "Ablation checks"
-if echo "$dp" | grep -A 4 "Ablation checks" | grep -q "false"; then
+echo "$dp" | grep -A 6 "Ablation checks"
+if echo "$dp" | grep -A 6 "Ablation checks" | grep -q "false"; then
   echo "FAIL: drive-pool ablation regressed"
   exit 1
 fi
@@ -91,15 +101,22 @@ python3 - <<'EOF'
 import json
 with open("BENCH_pipeline.json") as f:
     data = json.load(f)
-abl = data["drive_ablation"]
-assert set(abl) == {"1", "2", "4"}, f"unexpected drive counts: {sorted(abl)}"
-for d, entry in abl.items():
-    for key in ("throughput_kbs", "demand_residency_us",
-                "drive_utilization_pct", "drives", "media_swaps"):
-        assert key in entry, f"drive {d}: missing {key}"
-    assert len(entry["drive_utilization_pct"]) == int(d), d
+for suite in ("drive_ablation", "drive_ablation_4hot"):
+    abl = data[suite]
+    assert set(abl) == {"1", "2", "4"}, (
+        f"{suite}: unexpected drive counts: {sorted(abl)}")
+    for d, entry in abl.items():
+        for key in ("throughput_kbs", "demand_residency_us",
+                    "drive_utilization_pct", "drives", "media_swaps"):
+            assert key in entry, f"{suite} drive {d}: missing {key}"
+        assert len(entry["drive_utilization_pct"]) == int(d), d
+wide = data["drive_ablation_4hot"]
+assert wide["4"]["wall_clock_us"] <= wide["2"]["wall_clock_us"], (
+    "4-hot-volume suite: the 4th drive stopped paying off")
 print("BENCH_pipeline.json OK:",
-      {d: e["throughput_kbs"]["overall"] for d, e in sorted(abl.items())})
+      {s: {d: e["throughput_kbs"]["overall"]
+           for d, e in sorted(data[s].items())}
+       for s in ("drive_ablation", "drive_ablation_4hot")})
 EOF
 
 # Fault-under-load smoke (DESIGN.md §6f): the §7.3 migration + demand
@@ -146,6 +163,52 @@ assert death["wall_clock_us"] <= 2 * healthy["wall_clock_us"], (
     f"2x healthy {healthy['wall_clock_us']}")
 print("BENCH_faults.json OK:",
       {n: fl[n]["faults"]["drive_down"] for n in sorted(runs)})
+EOF
+
+# Adversarial scenario smoke (DESIGN.md §6g): the standard suite —
+# Zipfian steady state, flash crowd, hierarchy scan, tenant thrash, and
+# the two fault-composed variants — each run twice to prove the trace
+# digests are byte-stable. Every scenario must print "Tracecheck: 0
+# findings" (six lines); any "false" in the "Scenario checks" block
+# fails the gate. BENCH_scenarios.json must exist and parse with one
+# row per scenario.
+echo "==> adversarial scenario smoke (6 scenarios, per-run trace gates)"
+sc=$(cargo bench -q -p hl-bench --bench scenarios 2>&1)
+echo "$sc" | grep -E "Tracecheck:|Scenario checks" -A 7
+if [ "$(echo "$sc" | grep -c "Tracecheck: 0 findings")" -ne 6 ]; then
+  echo "FAIL: scenario runs did not all replay clean"
+  exit 1
+fi
+if echo "$sc" | grep -A 7 "Scenario checks" | grep -q "false"; then
+  echo "FAIL: scenario check regressed"
+  exit 1
+fi
+if [ ! -f BENCH_scenarios.json ]; then
+  echo "FAIL: BENCH_scenarios.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_scenarios.json") as f:
+    data = json.load(f)
+sc = data["scenarios"]
+names = {"zipf_steady", "flash_crowd", "hierarchy_scan", "tenant_thrash",
+         "flash_crowd_drive_death", "scan_robot_jam"}
+assert set(sc) == names, f"scenario rows mismatch: {sorted(sc)}"
+for name, row in sc.items():
+    for key in ("seed", "wall_clock_us", "requests", "cache", "coalesced",
+                "joins", "demand_residency_us", "media", "faults", "oracle",
+                "tracecheck_findings", "trace_digest"):
+        assert key in row, f"{name}: missing {key}"
+    assert row["tracecheck_findings"] == 0, f"{name}: trace findings"
+    assert row["oracle"]["mismatches"] == 0, f"{name}: oracle diverged"
+    assert row["faults"]["failed_fetches"] == 0, f"{name}: failed fetches"
+    assert row["joins"] == row["coalesced"], f"{name}: join/coalesce drift"
+assert sc["flash_crowd"]["coalesced"] >= 23, "the storm never coalesced"
+assert sc["flash_crowd_drive_death"]["faults"]["drive_down"] >= 1
+assert sc["scan_robot_jam"]["faults"]["drive_down"] == 0
+print("BENCH_scenarios.json OK:",
+      {n: sc[n]["trace_digest"] for n in sorted(sc)})
 EOF
 
 echo "CI OK"

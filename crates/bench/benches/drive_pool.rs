@@ -5,9 +5,18 @@
 //! stream on the same lane; with two drives the demand reads ride the
 //! reader lane while the writer lane drains copy-outs, so demand queue
 //! residency collapses and the migration's wall-clock stops paying for
-//! the interleaved swaps. The run emits `BENCH_pipeline.json` at the
-//! repository root — one machine-readable entry per drive count — and
-//! prints the ablation checks CI gates on.
+//! the interleaved swaps.
+//!
+//! The original workload keeps all foreground reads on **one** hot
+//! volume, so a single reader lane absorbs them and the ablation
+//! saturates at two drives (ROADMAP: "2 drives saturate the 2-hot-volume
+//! ablation workload"). The second suite spreads the reads across
+//! **three** hot volumes — four hot volumes total with the copy-out
+//! stream's write volume — so no single lane can hold every hot platter
+//! and the 2→4-drive step keeps paying off. The run emits
+//! `BENCH_pipeline.json` at the repository root — one machine-readable
+//! entry per drive count per suite — and prints the ablation checks CI
+//! gates on.
 
 use std::path::Path;
 
@@ -18,7 +27,7 @@ use hl_vdev::{Disk, DiskProfile, ScsiBus};
 
 const DRIVE_COUNTS: [usize; 3] = [1, 2, 4];
 
-fn run_with_drives(drives: usize) -> PipelineResult {
+fn run_with_drives(drives: usize, hot_volumes: u32, reads: u32) -> PipelineResult {
     let bus = ScsiBus::new("scsi0");
     let src = Disk::new(DiskProfile::RZ57, 300_000, Some(bus.clone()));
     let staging = Disk::new(DiskProfile::RZ58, 300_000, Some(bus.clone()));
@@ -41,41 +50,49 @@ fn run_with_drives(drives: usize) -> PipelineResult {
         staging_slots: 4,
         cpu_per_block: 550,
         demand: Some(DemandLoad {
-            reads: 8,
+            reads,
             start: 5_000_000,
             gap: 4_000_000,
-            extra_lines: 8,
+            extra_lines: reads,
+            hot_volumes,
         }),
     })
 }
 
-fn main() {
+fn suite(name: &str, hot_volumes: u32, reads: u32) -> Vec<(usize, PipelineResult)> {
     let mut results = Vec::new();
     for &d in &DRIVE_COUNTS {
-        let r = run_with_drives(d);
+        let r = run_with_drives(d, hot_volumes, reads);
         assert!(
             r.trace_findings.is_empty(),
-            "tracecheck findings at {d} drives: {:?}",
+            "{name}: tracecheck findings at {d} drives: {:?}",
             r.trace_findings
+        );
+        assert_eq!(
+            r.demand_residency.len(),
+            reads as usize,
+            "{name}: demand fetches lost at {d} drives"
         );
         results.push((d, r));
     }
+    results
+}
 
-    let mut rows = Vec::new();
-    for (d, r) in &results {
+fn rows_for(name: &str, results: &[(usize, PipelineResult)], rows: &mut Vec<Row>) {
+    for (d, r) in results {
         let (contention, _, overall) = r.throughputs();
         rows.push(Row {
-            label: format!("{d}-drive / contention throughput"),
+            label: format!("{name} {d}-drive / contention throughput"),
             paper: "-".into(),
             measured: format!("{contention:.0}KB/s"),
         });
         rows.push(Row {
-            label: format!("{d}-drive / overall throughput"),
+            label: format!("{name} {d}-drive / overall throughput"),
             paper: "-".into(),
             measured: format!("{overall:.0}KB/s"),
         });
         rows.push(Row {
-            label: format!("{d}-drive / demand residency p50/p95"),
+            label: format!("{name} {d}-drive / demand residency p50/p95"),
             paper: "-".into(),
             measured: format!(
                 "{:.1}s/{:.1}s",
@@ -84,7 +101,7 @@ fn main() {
             ),
         });
         rows.push(Row {
-            label: format!("{d}-drive / wall clock, swaps"),
+            label: format!("{name} {d}-drive / wall clock, swaps"),
             paper: "-".into(),
             measured: format!(
                 "{:.0}s, {} swaps",
@@ -93,6 +110,19 @@ fn main() {
             ),
         });
     }
+}
+
+fn main() {
+    // Suite 1: the original 1-hot-volume foreground stream (2 hot
+    // volumes total with the write volume) — saturates at 2 drives.
+    let narrow = suite("narrow", 1, 8);
+    // Suite 2: reads round-robin across 3 hot volumes (4 hot volumes
+    // total) — enough distinct platters to keep a 4-drive pool busy.
+    let wide = suite("wide", 3, 12);
+
+    let mut rows = Vec::new();
+    rows_for("narrow", &narrow, &mut rows);
+    rows_for("wide", &wide, &mut rows);
     print_table(
         "Drive-pool ablation: migration + foreground demand reads",
         ("configuration", "paper", "measured"),
@@ -100,18 +130,27 @@ fn main() {
     );
 
     // Machine-readable payload at the repository root, one entry per
-    // drive count (each entry is PipelineResult::to_json()).
-    let entries: Vec<String> = results
-        .iter()
-        .map(|(d, r)| format!("\"{d}\":{}", r.to_json()))
-        .collect();
-    let json = format!("{{\"drive_ablation\":{{{}}}}}", entries.join(","));
+    // drive count per suite (each entry is PipelineResult::to_json()).
+    let entry = |results: &[(usize, PipelineResult)]| {
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(d, r)| format!("\"{d}\":{}", r.to_json()))
+            .collect();
+        format!("{{{}}}", entries.join(","))
+    };
+    let json = format!(
+        "{{\"drive_ablation\":{},\"drive_ablation_4hot\":{}}}",
+        entry(&narrow),
+        entry(&wide)
+    );
     let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_pipeline.json");
     std::fs::write(&out, &json).expect("write BENCH_pipeline.json");
     println!("\nwrote {}", out.display());
 
-    let r1 = &results[0].1;
-    let r2 = &results[1].1;
+    let r1 = &narrow[0].1;
+    let r2 = &narrow[1].1;
+    let w2 = &wide[1].1;
+    let w4 = &wide[2].1;
     println!("\nAblation checks:");
     println!(
         "  2-drive wall-clock <= 1-drive wall-clock: {}",
@@ -122,12 +161,24 @@ fn main() {
         r2.demand_residency_pct(0.95) <= r1.demand_residency_pct(0.95)
     );
     println!(
-        "  every run served all {} demand fetches: {}",
-        8,
-        results.iter().all(|(_, r)| r.demand_residency.len() == 8)
+        "  every run served all demand fetches: {}",
+        narrow.iter().all(|(_, r)| r.demand_residency.len() == 8)
+            && wide.iter().all(|(_, r)| r.demand_residency.len() == 12)
     );
     println!(
         "  writer lane busiest under the copy-out stream: {}",
         r2.drive_busy[0] >= r2.drive_busy[1]
+    );
+    println!(
+        "  4hot: 4-drive wall-clock <= 2-drive wall-clock: {} ({:.0}s vs {:.0}s)",
+        w4.total_end <= w2.total_end,
+        hl_sim::time::as_secs(w4.total_end),
+        hl_sim::time::as_secs(w2.total_end)
+    );
+    println!(
+        "  4hot: 4-drive demand p95 residency < 2-drive: {} ({:.1}s vs {:.1}s)",
+        w4.demand_residency_pct(0.95) < w2.demand_residency_pct(0.95),
+        hl_sim::time::as_secs(w4.demand_residency_pct(0.95)),
+        hl_sim::time::as_secs(w2.demand_residency_pct(0.95))
     );
 }

@@ -67,6 +67,7 @@ fn run_with_plan(drives: usize, plan: Option<&FaultPlan>) -> PipelineResult {
             start: 5_000_000,
             gap: 4_000_000,
             extra_lines: 6,
+            hot_volumes: 1,
         }),
     })
 }

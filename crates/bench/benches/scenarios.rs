@@ -1,0 +1,194 @@
+//! Adversarial scenario suite (DESIGN.md §6g, ROADMAP item 5).
+//!
+//! Runs every standard scenario — Zipfian steady state, flash crowd,
+//! hierarchy scan, tenant thrash, and the two fault-composed variants —
+//! against the real event-driven engine, **twice each**, proving the
+//! trace digests are byte-identical across runs. Every run must finish
+//! with zero tracecheck findings, zero lost tickets (an unresolved
+//! ticket panics result collection), and a clean byte oracle. Emits
+//! `BENCH_scenarios.json` at the repository root and prints the
+//! per-scenario gates CI greps for.
+
+use std::path::Path;
+
+use hl_bench::scenarios::{run_scenario, standard_scenarios, ScenarioResult};
+use hl_bench::table::{print_table, Row};
+use hl_sim::time::as_secs;
+
+fn check(r: &ScenarioResult) {
+    assert!(
+        r.trace_findings.is_empty(),
+        "{}: tracecheck findings:\n{}",
+        r.name,
+        r.trace_findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    println!("{}: Tracecheck: 0 findings", r.name);
+    assert_eq!(r.failed_fetches, 0, "{}: failed demand/prefetch", r.name);
+    assert_eq!(r.failed_copyouts, 0, "{}: failed copy-outs", r.name);
+    assert_eq!(r.oracle_mismatches, 0, "{}: byte oracle diverged", r.name);
+    assert_eq!(
+        r.joins, r.coalesced,
+        "{}: Join events must match the coalesce counter",
+        r.name
+    );
+}
+
+fn main() {
+    let suite = standard_scenarios();
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    let mut digests_stable = true;
+    for cfg in &suite {
+        let r = run_scenario(cfg);
+        // Determinism gate: an identical second run must replay the
+        // exact event sequence — same seed, byte-identical digest.
+        let replay = run_scenario(cfg);
+        if replay.trace_digest != r.trace_digest {
+            digests_stable = false;
+            eprintln!(
+                "{}: digest drifted across runs ({:016x} vs {:016x})",
+                cfg.name, r.trace_digest, replay.trace_digest
+            );
+        }
+        check(&r);
+        results.push(r);
+    }
+    assert!(digests_stable, "same seed must give byte-identical traces");
+
+    let by_name = |n: &str| {
+        results
+            .iter()
+            .find(|r| r.name == n)
+            .expect("standard scenario present")
+    };
+    let zipf = by_name("zipf_steady");
+    let crowd = by_name("flash_crowd");
+    let scan = by_name("hierarchy_scan");
+    let thrash = by_name("tenant_thrash");
+    let death = by_name("flash_crowd_drive_death");
+    let jam = by_name("scan_robot_jam");
+
+    // Shape assertions per adversary.
+    assert!(
+        crowd.coalesced >= 20,
+        "the crowd storm must coalesce (got {} joins)",
+        crowd.coalesced
+    );
+    assert!(
+        zipf.hit_rate_pct() > crowd.hit_rate_pct() - 100.0,
+        "sanity"
+    );
+    assert_eq!(
+        scan.demand_issued, 40,
+        "the scan demand-reads every segment once"
+    );
+    assert!(
+        scan.media_swaps >= 4,
+        "a 5-volume scan crosses at least 4 volume boundaries"
+    );
+    assert!(
+        thrash.cache.ejections > 0,
+        "the tenant mix must thrash the line pool"
+    );
+    assert!(thrash.copyouts_issued >= 6, "writer tenants must copy out");
+    assert!(
+        death.drive_down >= 1,
+        "the scripted drive death was never observed"
+    );
+    assert_eq!(jam.drive_down, 0, "a robot jam stalls, it does not kill");
+    assert!(
+        jam.wall_clock > scan.wall_clock,
+        "the jammed scan must pay for the stalled swaps"
+    );
+
+    let rows: Vec<Row> = results
+        .iter()
+        .flat_map(|r| {
+            vec![
+                Row {
+                    label: format!("{} / wall clock, swaps, hit rate", r.name),
+                    paper: "-".into(),
+                    measured: format!(
+                        "{:.0}s, {} swaps, {:.0}%",
+                        as_secs(r.wall_clock),
+                        r.media_swaps,
+                        r.hit_rate_pct()
+                    ),
+                },
+                Row {
+                    label: format!("{} / demand residency p50/p95", r.name),
+                    paper: "-".into(),
+                    measured: format!(
+                        "{:.1}s/{:.1}s (n={})",
+                        as_secs(r.demand_residency_pct(0.50)),
+                        as_secs(r.demand_residency_pct(0.95)),
+                        r.demand_residency.len()
+                    ),
+                },
+                Row {
+                    label: format!("{} / coalesced, downs, digest", r.name),
+                    paper: "-".into(),
+                    measured: format!(
+                        "{} / {} / {:016x}",
+                        r.coalesced, r.drive_down, r.trace_digest
+                    ),
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Adversarial scenarios: flash crowds, scans, tenant thrash",
+        ("scenario", "paper", "measured"),
+        &rows,
+    );
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| format!("\"{}\":{}", r.name, r.to_json()))
+        .collect();
+    let json = format!("{{\"scenarios\":{{{}}}}}", entries.join(","));
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scenarios.json");
+    std::fs::write(&out, &json).expect("write BENCH_scenarios.json");
+    println!("\nwrote {}", out.display());
+
+    println!("\nScenario checks:");
+    println!("  digests byte-stable across replays: {digests_stable}");
+    println!(
+        "  flash crowd coalesced the storm: {} ({} coalesced, {} joins)",
+        crowd.coalesced >= 20 && crowd.joins == crowd.coalesced,
+        crowd.coalesced,
+        crowd.joins
+    );
+    println!(
+        "  scan covered the hierarchy once: {} ({} demands, {} swaps)",
+        scan.demand_issued == 40 && scan.media_swaps >= 4,
+        scan.demand_issued,
+        scan.media_swaps
+    );
+    println!(
+        "  tenant mix thrashed the cache: {} ({} ejections, hit rate {:.0}%)",
+        thrash.cache.ejections > 0,
+        thrash.cache.ejections,
+        thrash.hit_rate_pct()
+    );
+    println!(
+        "  drive death absorbed mid-crowd: {} ({} downs, {} redispatched, 0 failed)",
+        death.drive_down >= 1 && death.failed_fetches == 0,
+        death.drive_down,
+        death.redispatched
+    );
+    println!(
+        "  robot jam stalled but lost nothing: {} ({:.0}s vs {:.0}s healthy)",
+        jam.drive_down == 0 && jam.wall_clock > scan.wall_clock,
+        as_secs(jam.wall_clock),
+        as_secs(scan.wall_clock)
+    );
+    println!(
+        "  byte oracle clean everywhere: {} ({} segments verified)",
+        results.iter().all(|r| r.oracle_mismatches == 0),
+        results.iter().map(|r| r.oracle_verified).sum::<usize>()
+    );
+}

@@ -17,10 +17,13 @@
 //! Shared machinery lives here: [`rigs`] builds paper-scale device
 //! stacks, [`fsx`] unifies the three filesystems under one trait,
 //! [`pipeline`] is the virtual-time actor pipeline for the concurrent
-//! experiments, and [`table`] prints paper-vs-measured rows.
+//! experiments, [`scenarios`] is the adversarial scenario runner
+//! (Zipfian flash crowds, hierarchy scans, tenant thrash — each with a
+//! per-run trace gate), and [`table`] prints paper-vs-measured rows.
 
 pub mod fsx;
 pub mod pipeline;
 pub mod rigs;
+pub mod scenarios;
 pub mod table;
 pub mod torture;

@@ -65,8 +65,8 @@ pub struct PipelineConfig {
     pub demand: Option<DemandLoad>,
 }
 
-/// A paced stream of demand fetches against the jukebox's highest
-/// volume (pre-poked by [`run`]), issued while the migration runs.
+/// A paced stream of demand fetches against the jukebox's top volumes
+/// (pre-poked by [`run`]), issued while the migration runs.
 #[derive(Clone, Copy, Debug)]
 pub struct DemandLoad {
     /// Demand fetches to issue.
@@ -78,6 +78,12 @@ pub struct DemandLoad {
     /// Extra cache lines added to the pool so the foreground reads do
     /// not fight the migrator for staging space.
     pub extra_lines: u32,
+    /// Distinct hot volumes the reads round-robin across (clamped to a
+    /// minimum of 1). With one hot volume a single reader lane absorbs
+    /// the whole stream and the drive-count ablation saturates at two
+    /// drives; spreading the reads across 3+ volumes forces swaps on
+    /// every lane and keeps 4 drives busy.
+    pub hot_volumes: u32,
 }
 
 /// Pipeline outcome.
@@ -247,7 +253,8 @@ struct World {
     migrator_done: Option<SimTime>,
 }
 
-/// The foreground reader: paced demand fetches of the top volume.
+/// The foreground reader: paced demand fetches round-robined across
+/// the jukebox's top [`DemandLoad::hot_volumes`] volumes.
 struct DemandActor {
     load: DemandLoad,
     issued: u32,
@@ -259,8 +266,9 @@ impl Actor<World> for DemandActor {
             return Step::Done;
         }
         let spv = w.tio.jukebox().segments_per_volume();
-        let vol = w.tio.jukebox().volumes() - 1;
-        let seg = w.tio.map.tert_seg(vol, self.issued % spv);
+        let hv = self.load.hot_volumes.max(1);
+        let vol = w.tio.jukebox().volumes() - 1 - (self.issued % hv);
+        let seg = w.tio.map.tert_seg(vol, (self.issued / hv) % spv);
         w.demand_tickets.push(w.tio.enqueue_demand(now, seg));
         self.issued += 1;
         if self.issued >= self.load.reads {
@@ -412,15 +420,19 @@ pub fn run(cfg: PipelineConfig) -> PipelineResult {
         },
     );
     if let Some(load) = cfg.demand {
-        // The foreground reads target the top volume, well away from
-        // the copy-out stream's write volumes.
-        let vol = cfg.jukebox.volumes() - 1;
+        // The foreground reads round-robin across the top `hot_volumes`
+        // volumes, well away from the copy-out stream's write volumes.
         let spv = cfg.jukebox.segments_per_volume();
+        let hv = load.hot_volumes.max(1);
         let seg_image = vec![0x6du8; cfg.blocks_per_seg as usize * BLOCK_SIZE];
-        for slot in 0..load.reads.min(spv) {
-            cfg.jukebox
-                .poke_segment(vol, slot, &seg_image)
-                .expect("poke demand segment");
+        for v in 0..hv {
+            let vol = cfg.jukebox.volumes() - 1 - v;
+            let slots = (load.reads.div_ceil(hv)).min(spv);
+            for slot in 0..slots {
+                cfg.jukebox
+                    .poke_segment(vol, slot, &seg_image)
+                    .expect("poke demand segment");
+            }
         }
         sched.spawn_at(load.start, DemandActor { load, issued: 0 });
     }

@@ -6,13 +6,24 @@
 //! - [`sequoia`]: Sequoia-flavoured scenarios (§2, §8.2) — satellite
 //!   image archives, database page access, simulation checkpoints;
 //! - [`trees`]: software-development directory trees for the namespace
-//!   policy (§5.3).
+//!   policy (§5.3);
+//! - [`zipf`]: seeded Zipfian popularity and the flash-crowd object
+//!   store (adversarial suite, ROADMAP item 5);
+//! - [`scan`]: whole-hierarchy backup/restore streaming scans;
+//! - [`tenants`]: mixed reader/writer tenants with conflicting working
+//!   sets larger than the segment cache.
 //!
 //! All generators are deterministic given a seed (the paper seeded
 //! `random()` with time-of-day + pid; reproducibility wins here).
 
 pub mod large_object;
+pub mod scan;
 pub mod sequoia;
+pub mod tenants;
 pub mod trees;
+pub mod zipf;
 
 pub use large_object::{LargeObject, Phase};
+pub use scan::{HierarchyScan, ScanDirection, ScanStep};
+pub use tenants::{Tenant, TenantKind, TenantMix};
+pub use zipf::{FlashCrowd, ZipfStore, Zipfian};

@@ -180,3 +180,80 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any small adversarial scenario (flash crowd, hierarchy scan, or
+    /// tenant thrash) crossed with any scripted fault (drive death,
+    /// hang, slowdown, or robot jam) at a random instant: no ticket is
+    /// lost (result collection panics on an unresolved one), no fetch
+    /// or copy-out fails (one healthy drive always survives, and a jam
+    /// merely stalls), the byte oracle matches everywhere, and the
+    /// finished trace has zero findings.
+    #[test]
+    fn random_scenario_survives_random_drive_fault(
+        seed in 0u64..1_000_000_000,
+        shape in 0u32..3,
+        fkind in 0u32..4,
+        victim in 0u32..2,
+        at_s in 5u64..120,
+    ) {
+        use hl_bench::scenarios::{run_scenario, FaultScript, ScenarioConfig, ScenarioKind};
+        use hl_sim::time::secs;
+
+        let (volumes, kind) = match shape {
+            0 => (2, ScenarioKind::FlashCrowd {
+                objects: 8,
+                exponent: 1.0,
+                requests: 8,
+                gap: secs(2.0),
+                crowd_at: Some(4),
+                crowd_clients: 6,
+            }),
+            1 => (3, ScenarioKind::HierarchyScan { readahead: 1 }),
+            _ => (3, ScenarioKind::TenantThrash {
+                readers: 2,
+                writers: 1,
+                reads_per_tenant: 6,
+                copyouts_per_writer: 2,
+                working_set: 4,
+                think: secs(1.0),
+            }),
+        };
+        let at = secs(at_s as f64);
+        let fault = match fkind {
+            0 => FaultScript::DriveDeath { drive: victim, at },
+            1 => FaultScript::DriveHang { drive: victim, at, dur: secs(20.0) },
+            2 => FaultScript::DriveSlow { drive: victim, factor: 3.0, at },
+            _ => FaultScript::RobotJam { at, dur: secs(30.0) },
+        };
+        let r = run_scenario(&ScenarioConfig {
+            name: "prop",
+            seed,
+            volumes,
+            segments_per_volume: 4,
+            drives: 2,
+            cache_lines: 8,
+            kind,
+            fault: Some(fault),
+        });
+
+        prop_assert_eq!(
+            r.failed_fetches, 0,
+            "fetches failed (shape {}, fault {}, victim {}, at {}s)",
+            shape, fkind, victim, at_s
+        );
+        prop_assert_eq!(r.failed_copyouts, 0);
+        prop_assert_eq!(
+            r.oracle_mismatches, 0,
+            "bytes diverged over {} oracle checks", r.oracle_verified
+        );
+        prop_assert_eq!(r.joins, r.coalesced);
+        prop_assert!(
+            r.trace_findings.is_empty(),
+            "tracecheck findings (shape {}, fault {}, victim {}, at {}s): {:?}",
+            shape, fkind, victim, at_s, r.trace_findings
+        );
+    }
+}
