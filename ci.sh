@@ -45,6 +45,13 @@ cargo test -q --test fault_props
 echo "==> adversarial scenario suite (tests/scenarios.rs)"
 cargo test -q --test scenarios
 
+# Per-tenant fairness suite (DESIGN.md §6h): the deterministic
+# two-tenant starvation test (prefetch storm vs demand victim, p95
+# within 2x of solo) plus the random-tenant-mix proptest arm (every
+# request answered, zero lost tickets, clean tracecheck replay).
+echo "==> tenant fairness suite (tests/tenant_fairness.rs)"
+cargo test -q --test tenant_fairness
+
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -209,6 +216,60 @@ assert sc["flash_crowd_drive_death"]["faults"]["drive_down"] >= 1
 assert sc["scan_robot_jam"]["faults"]["drive_down"] == 0
 print("BENCH_scenarios.json OK:",
       {n: sc[n]["trace_digest"] for n in sorted(sc)})
+EOF
+
+# Client-fleet server smoke (DESIGN.md §6h): closed-loop protocol
+# fleets at 100/400/1000 clients through the shared-queue and
+# work-stealing pools (plus the naive baseline at 100). Ten runs, each
+# of which must print "Tracecheck: 0 findings"; the "Fleet checks"
+# block gates determinism at 1000 clients (byte-stable digest across
+# two runs), server-layer coalescing (64 concurrent gets of one cold
+# object = exactly one media read), and fairness (a prefetch-storm
+# tenant degrades the victim's demand p95 at most 2x over solo). Any
+# "false" fails the gate. BENCH_server.json must exist and parse.
+echo "==> client-fleet server smoke (pool sweep + determinism + QoS)"
+sv=$(cargo bench -q -p hl-server --bench server_fleet 2>&1)
+echo "$sv" | grep -E "Determinism check|Coalescing check|Fairness check|Fleet checks" -A 4 | head -20
+if [ "$(echo "$sv" | grep -c "Tracecheck: 0 findings")" -ne 10 ]; then
+  echo "FAIL: server fleet runs did not all replay clean"
+  exit 1
+fi
+if echo "$sv" | grep -A 4 "Fleet checks" | grep -q "false"; then
+  echo "FAIL: server fleet check regressed"
+  exit 1
+fi
+if [ ! -f BENCH_server.json ]; then
+  echo "FAIL: BENCH_server.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_server.json") as f:
+    data = json.load(f)
+fleet = data["server_fleet"]
+assert set(fleet) == {"shared-queue", "work-stealing", "naive"}, sorted(fleet)
+for pool, counts in fleet.items():
+    want = {"100"} if pool == "naive" else {"100", "400", "1000"}
+    assert set(counts) == want, f"{pool}: client counts {sorted(counts)}"
+    for c, row in counts.items():
+        for key in ("p50_us", "p95_us", "p99_us", "completed", "errors",
+                    "lost_tickets", "tracecheck_findings", "tenant_admits",
+                    "tenant_throttles", "steals", "demand_fetches",
+                    "coalesced_fetches", "end_time_us", "trace_digest"):
+            assert key in row, f"{pool}/{c}: missing {key}"
+        assert row["errors"] == 0, f"{pool}/{c}: protocol errors"
+        assert row["lost_tickets"] == 0, f"{pool}/{c}: lost tickets"
+        assert row["tracecheck_findings"] == 0, f"{pool}/{c}: findings"
+        assert row["completed"] == 2 * int(c), f"{pool}/{c}: completions"
+assert data["coalescing"]["media_reads"] == 1, "server coalescing broke"
+fair = data["fairness"]
+assert fair["ratio"] <= fair["bound"], "fairness gate: victim p95 > 2x solo"
+assert fair["storm_throttles"] > 0, "fair queue never engaged"
+assert fair["storm_admits"] > 0, "storm was starved outright"
+print("BENCH_server.json OK:",
+      {p: {c: fleet[p][c]["p95_us"] for c in sorted(fleet[p], key=int)}
+       for p in sorted(fleet)},
+      "fairness ratio", fair["ratio"])
 EOF
 
 echo "CI OK"

@@ -600,7 +600,9 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
                 *think,
             );
             for tenant in mix.tenants {
-                let start = tenant.id as SimTime * secs(0.5);
+                // The mix's own schedule (default: ARRIVAL_STAGGER per
+                // id — the same ramp the server fleet replays).
+                let start = tenant.arrival as SimTime;
                 match tenant.kind {
                     TenantKind::Reader => {
                         sched.spawn_at(

@@ -69,6 +69,10 @@ impl<W> Actor<W> for SvcActor {
             return Step::Park;
         }
         let req = self.inner.queues.borrow_mut().pop_ready(now);
+        // Fair-queue decisions (tenant admits/throttles) recorded by the
+        // pop surface as trace events at the dispatch timestamp — in
+        // both branches: a fully QoS-held queue still reports throttles.
+        self.inner.emit_tenant_events(now);
         match req {
             Some(req) => {
                 self.inner.dispatch(req, now);

@@ -51,7 +51,10 @@ pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy,
 pub use prefetch::PrefetchPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
 pub use replicas::ReplicaSet;
-pub use requests::{FetchMode, Outcome, ReqClass, Ticket, DISPATCH_CPU};
+pub use requests::{
+    FetchMode, Outcome, ReqClass, TenantId, Ticket, AFFINITY_BOUND, DISPATCH_CPU, QOS_HEADROOM,
+    TENANT_BOUND,
+};
 pub use segcache::{EjectPolicy, SegCache};
-pub use service::{ScrubReport, StallEvent, SvcStats, TertiaryIo, MAX_DRIVES};
+pub use service::{EngineSession, ScrubReport, StallEvent, SvcStats, TertiaryIo, MAX_DRIVES};
 pub use tsegfile::TsegTable;

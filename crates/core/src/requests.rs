@@ -43,6 +43,57 @@ pub const DISPATCH_CPU: SimTime = 2 * MS;
 /// affinity batches no matter how attractive the loaded volume stays.
 pub const AFFINITY_BOUND: u32 = 4;
 
+/// A logical client of the engine, as tagged by the service layer.
+/// Untagged requests (`tenant: None`) are kernel-internal work — the
+/// migrator, the synchronous façades — and bypass the fair queue
+/// entirely, keeping the engine's historical FIFO-within-class order.
+pub type TenantId = u32;
+
+/// Starvation bound for the per-tenant fair queue: once a tagged request
+/// has been passed over this many times (a fairer tenant picked, or
+/// background work held for device-queue headroom), it *must* be taken
+/// next within its class. The analogue of [`AFFINITY_BOUND`] one layer
+/// up: weighted fairness can reorder, but never unboundedly.
+pub const TENANT_BOUND: u32 = 8;
+
+/// Device-queue slots reserved for foreground traffic: tagged
+/// *background* work (prefetch, scrub) is held in the request queue
+/// while the device queue has this many or fewer free slots, so one
+/// tenant's prefetch storm cannot pack the device pipeline ahead of
+/// another tenant's demand fetches. Kernel-internal (untagged) work is
+/// exempt.
+pub const QOS_HEADROOM: usize = 2;
+
+/// Stride-scheduling scale: a tenant of weight `w` advances its virtual
+/// pass by `STRIDE_SCALE / w` per admitted request, so relative
+/// admission rates converge to the weight ratio.
+const STRIDE_SCALE: u64 = 1 << 20;
+
+/// A fair-queue decision the engine must surface as a trace event.
+/// `pop_ready` records them; the service-process actor drains and emits
+/// them (the queue structure itself has no tracer handle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TenantEvent {
+    /// A tagged request was admitted for dispatch.
+    Admit {
+        /// The admitted tenant.
+        tenant: TenantId,
+        /// The request's class at dispatch.
+        class: ReqClass,
+        /// The admitted request's span.
+        span: u64,
+    },
+    /// A tagged request was held back (first time only per request).
+    Throttle {
+        /// The held tenant.
+        tenant: TenantId,
+        /// The held request's class.
+        class: ReqClass,
+        /// The held request's span.
+        span: u64,
+    },
+}
+
 /// Re-dispatch bound for a device op orphaned by drive faults: after this
 /// many lane deaths under one op, the engine stops chasing surviving
 /// drives and fails the ticket. One attempt per possible lane is enough —
@@ -187,6 +238,15 @@ pub(crate) struct Request {
     pub demand_enq: Option<SimTime>,
     /// Trace span opened at enqueue, closed at ticket completion.
     pub span: u64,
+    /// The logical client this request belongs to, if the service layer
+    /// tagged it. `None` (kernel-internal work) bypasses the fair queue.
+    pub tenant: Option<TenantId>,
+    /// How many times the fair queue passed this request over (a fairer
+    /// tenant picked, or a QoS hold); see [`TENANT_BOUND`].
+    pub passed: u32,
+    /// Whether a `TenantThrottle` event was already recorded for this
+    /// request (one throttle event per request, not per scan).
+    pub throttled: bool,
     /// Completion cell.
     pub ticket: Ticket,
 }
@@ -233,6 +293,16 @@ pub(crate) fn write_class(class: ReqClass) -> bool {
     matches!(class, ReqClass::CopyOut | ReqClass::Scrub)
 }
 
+/// `true` when `r` must wait for device-queue headroom: a tagged
+/// background request under congestion, unless the [`TENANT_BOUND`]
+/// starvation guard has already fired for it.
+fn qos_held(congested: bool, r: &Request) -> bool {
+    congested
+        && r.tenant.is_some()
+        && matches!(r.class, ReqClass::Prefetch | ReqClass::Scrub)
+        && r.passed < TENANT_BOUND
+}
+
 /// Transcript length cap: long runs keep the head of the event log plus
 /// a drop counter, bounding memory while staying deterministic.
 const TRANSCRIPT_CAP: usize = 8192;
@@ -260,6 +330,23 @@ pub(crate) struct EngineQueues {
     /// Ops force-taken by the starvation guard after [`AFFINITY_BOUND`]
     /// bypasses.
     pub starvation_promotions: u64,
+    /// Per-tenant stride weights (default 1). `BTreeMap` so iteration —
+    /// and therefore tie-breaking — is deterministic.
+    tenant_weights: BTreeMap<TenantId, u32>,
+    /// Per-tenant virtual pass: the tenant with the smallest pass is
+    /// admitted next; each admission advances it by `STRIDE_SCALE /
+    /// weight`.
+    tenant_pass: BTreeMap<TenantId, u64>,
+    /// Tagged requests admitted by the fair queue.
+    pub tenant_admits: u64,
+    /// Tagged requests held back at least once (QoS headroom or a fairer
+    /// tenant picked first).
+    pub tenant_throttles: u64,
+    /// Tagged requests force-taken by the [`TENANT_BOUND`] guard.
+    pub tenant_promotions: u64,
+    /// Fair-queue decisions awaiting trace emission (drained by the
+    /// service-process actor, which holds the tracer).
+    tenant_events: Vec<TenantEvent>,
     /// Deterministic event log (capped).
     transcript: Vec<String>,
     transcript_dropped: u64,
@@ -276,9 +363,27 @@ impl EngineQueues {
             pending_fetch: HashMap::new(),
             affinity_hits: 0,
             starvation_promotions: 0,
+            tenant_weights: BTreeMap::new(),
+            tenant_pass: BTreeMap::new(),
+            tenant_admits: 0,
+            tenant_throttles: 0,
+            tenant_promotions: 0,
+            tenant_events: Vec::new(),
             transcript: Vec::new(),
             transcript_dropped: 0,
         }
+    }
+
+    /// Sets a tenant's fair-queue weight (share of admissions relative
+    /// to other tenants; clamped to at least 1).
+    pub fn set_tenant_weight(&mut self, tenant: TenantId, weight: u32) {
+        self.tenant_weights.insert(tenant, weight.max(1));
+    }
+
+    /// Drains the fair-queue decisions recorded since the last drain,
+    /// for trace emission by the caller.
+    pub fn take_tenant_events(&mut self) -> Vec<TenantEvent> {
+        std::mem::take(&mut self.tenant_events)
     }
 
     /// Appends a transcript line (drops past the cap, counting drops).
@@ -378,14 +483,147 @@ impl EngineQueues {
         self.reqq.remove(&key)
     }
 
-    /// Pops the best-priority request whose enqueue time has arrived.
-    pub fn pop_ready(&mut self, now: SimTime) -> Option<Request> {
-        let key = self
-            .reqq
+    /// `true` while the device queue has [`QOS_HEADROOM`] or fewer free
+    /// slots — the regime where tagged background work is held back so
+    /// demand fetches keep a path into the pipeline.
+    fn devq_congested(&self) -> bool {
+        self.devq.len() + QOS_HEADROOM >= self.devq_cap
+    }
+
+    /// Advances `tenant`'s virtual pass by one admission's stride.
+    fn charge(&mut self, tenant: TenantId) {
+        let w = self.tenant_weights.get(&tenant).copied().unwrap_or(1).max(1) as u64;
+        *self.tenant_pass.entry(tenant).or_insert(0) += STRIDE_SCALE / w;
+    }
+
+    /// Records that the fair queue deferred `keys` this pop: each gets a
+    /// one-time `TenantThrottle` event, and — when another request was
+    /// actually admitted past them — a `passed` bump toward the
+    /// [`TENANT_BOUND`] starvation guard.
+    fn note_deferred(&mut self, keys: &[(u8, u64)], admitted: bool) {
+        for &k in keys {
+            let Some(r) = self.reqq.get_mut(&k) else { continue };
+            if admitted {
+                r.passed += 1;
+            }
+            if !r.throttled {
+                r.throttled = true;
+                self.tenant_throttles += 1;
+                if let Some(t) = r.tenant {
+                    self.tenant_events.push(TenantEvent::Throttle {
+                        tenant: t,
+                        class: r.class,
+                        span: r.span,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Weighted fair pick among the tagged, ready requests of the head
+    /// class. The candidate window runs from the head to the first ready
+    /// *untagged* request of the class: fair queuing reorders tenants
+    /// against each other, never past kernel-internal work, so untagged
+    /// traffic keeps its historical FIFO position exactly.
+    ///
+    /// Selection: a candidate already passed over [`TENANT_BOUND`] times
+    /// is taken unconditionally (oldest first); otherwise the tenant with
+    /// the smallest virtual pass wins (ties to the lowest tenant id,
+    /// FIFO within a tenant) and its pass advances by `STRIDE_SCALE /
+    /// weight`. A tenant first seen mid-run starts at the smallest pass
+    /// among its current competitors — no credit accrues while absent.
+    fn fair_pick(&mut self, class: u8, head_seq: u64, now: SimTime) -> (u8, u64) {
+        let mut cands: Vec<(u64, TenantId, u32)> = Vec::new();
+        for (&(_, seq), r) in self.reqq.range((class, head_seq)..=(class, u64::MAX)) {
+            if r.enqueued_at > now {
+                continue;
+            }
+            match r.tenant {
+                None => break,
+                Some(t) => cands.push((seq, t, r.passed)),
+            }
+        }
+        debug_assert!(!cands.is_empty(), "the head request must be a candidate");
+        if let Some(&(seq, t, _)) = cands.iter().find(|&&(_, _, p)| p >= TENANT_BOUND) {
+            self.tenant_promotions += 1;
+            self.charge(t);
+            return (class, seq);
+        }
+        let floor = cands
             .iter()
-            .find(|(_, r)| r.enqueued_at <= now)
-            .map(|(&k, _)| k)?;
-        self.reqq.remove(&key)
+            .filter_map(|&(_, t, _)| self.tenant_pass.get(&t))
+            .min()
+            .copied()
+            .unwrap_or(0);
+        let mut best: Option<(u64, TenantId, u64)> = None; // (pass, tenant, seq)
+        for &(seq, t, _) in &cands {
+            let pass = *self.tenant_pass.entry(t).or_insert(floor);
+            match best {
+                Some((bp, bt, _)) if (bp, bt) <= (pass, t) => {}
+                _ => best = Some((pass, t, seq)),
+            }
+        }
+        let (_, t, seq) = best.expect("candidates are non-empty");
+        self.charge(t);
+        (class, seq)
+    }
+
+    /// Pops the best-priority request whose enqueue time has arrived.
+    ///
+    /// Untagged (kernel-internal) requests pop in the engine's historical
+    /// priority-major, FIFO-minor order. Tagged requests additionally go
+    /// through per-tenant weighted fair queuing within their class
+    /// ([`Self::fair_pick`]), and tagged *background* work is held while
+    /// the device queue lacks demand headroom ([`QOS_HEADROOM`]) — both
+    /// bounded by [`TENANT_BOUND`]. Fair-queue decisions are recorded
+    /// for trace emission via [`Self::take_tenant_events`].
+    pub fn pop_ready(&mut self, now: SimTime) -> Option<Request> {
+        let congested = self.devq_congested();
+        let mut head: Option<(u8, u64)> = None;
+        let mut held: Vec<(u8, u64)> = Vec::new();
+        for (&key, r) in self.reqq.iter() {
+            if r.enqueued_at > now {
+                continue;
+            }
+            if qos_held(congested, r) {
+                held.push(key);
+                continue;
+            }
+            head = Some(key);
+            break;
+        }
+        let Some(key) = head else {
+            // Everything ready is QoS-held: surface the throttles, but
+            // nothing was admitted past them.
+            self.note_deferred(&held, false);
+            return None;
+        };
+        let (class, head_seq) = key;
+        let pick = if self.reqq[&key].tenant.is_some() {
+            self.fair_pick(class, head_seq, now)
+        } else {
+            key
+        };
+        let mut deferred = held;
+        if pick != key {
+            deferred.extend(
+                self.reqq
+                    .range((class, head_seq)..(class, pick.1))
+                    .filter(|(_, r)| r.enqueued_at <= now && r.tenant.is_some())
+                    .map(|(&k, _)| k),
+            );
+        }
+        self.note_deferred(&deferred, true);
+        let req = self.reqq.remove(&pick).expect("the picked key is present");
+        if let Some(t) = req.tenant {
+            self.tenant_admits += 1;
+            self.tenant_events.push(TenantEvent::Admit {
+                tenant: t,
+                class: req.class,
+                span: req.span,
+            });
+        }
+        Some(req)
     }
 
     /// The earliest enqueue time among queued requests (the service
@@ -506,8 +744,17 @@ mod tests {
             enqueued_at: at,
             demand_enq: (class == ReqClass::Demand).then_some(at),
             span: 0,
+            tenant: None,
+            passed: 0,
+            throttled: false,
             ticket: Ticket::new(),
         }
+    }
+
+    fn treq(tenant: TenantId, class: ReqClass, seg: SegNo, at: SimTime) -> Request {
+        let mut r = req(class, seg, at);
+        r.tenant = Some(tenant);
+        r
     }
 
     #[test]
@@ -666,6 +913,100 @@ mod tests {
             vols.push(op.vol.unwrap());
         }
         assert_eq!(vols, [0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn untagged_requests_keep_fifo_order_among_tagged() {
+        let mut q = EngineQueues::new();
+        q.push(req(ReqClass::Demand, 1, 0)); // untagged head
+        q.push(treq(2, ReqClass::Demand, 2, 0));
+        q.push(treq(1, ReqClass::Demand, 3, 0));
+        q.push(req(ReqClass::Demand, 4, 0)); // untagged tail
+        // Untagged head pops first (historical FIFO); then the fair
+        // queue picks among the tagged pair — tenant 1 wins the tie on
+        // id despite tenant 2's earlier seq — but never reorders past
+        // the untagged tail.
+        let order: Vec<Option<TenantId>> =
+            std::iter::from_fn(|| q.pop_ready(0).map(|r| r.tenant)).collect();
+        assert_eq!(order, vec![None, Some(1), Some(2), None]);
+        assert_eq!(q.tenant_admits, 2);
+        // Tenant 2's request was passed over once by the fair pick.
+        assert_eq!(q.tenant_throttles, 1);
+    }
+
+    #[test]
+    fn stride_weights_shape_admission_shares() {
+        let mut q = EngineQueues::new();
+        q.set_tenant_weight(1, 3);
+        q.set_tenant_weight(2, 1);
+        for i in 0..4 {
+            q.push(treq(1, ReqClass::Demand, i, 0));
+            q.push(treq(2, ReqClass::Demand, 100 + i, 0));
+        }
+        let order: Vec<TenantId> =
+            std::iter::from_fn(|| q.pop_ready(0).map(|r| r.tenant.unwrap())).collect();
+        // Weight 3 vs 1: tenant 1 takes three of the first four slots.
+        assert_eq!(&order[..4], &[1, 2, 1, 1]);
+        assert_eq!(order.iter().filter(|&&t| t == 1).count(), 4);
+    }
+
+    #[test]
+    fn tenant_bound_overrides_the_fair_pick() {
+        let mut q = EngineQueues::new();
+        q.push(treq(2, ReqClass::Demand, 1, 0)); // seq 0
+        q.push(treq(1, ReqClass::Demand, 2, 0)); // seq 1
+        // On a pass tie tenant 1 would win (lower id) — but tenant 2's
+        // request has hit the starvation bound and must go first.
+        q.reqq.get_mut(&(ReqClass::Demand as u8, 0)).unwrap().passed = TENANT_BOUND;
+        let r = q.pop_ready(0).unwrap();
+        assert_eq!(r.tenant, Some(2), "starved request beats the stride pick");
+        assert_eq!(q.tenant_promotions, 1);
+        assert_eq!(q.pop_ready(0).unwrap().tenant, Some(1));
+    }
+
+    #[test]
+    fn congested_devq_holds_tagged_background_work() {
+        let mut q = EngineQueues::new();
+        for _ in 0..(q.devq_cap - QOS_HEADROOM) {
+            q.devq.push_back(devop(ReqClass::Demand, None));
+        }
+        q.push(treq(3, ReqClass::Prefetch, 1, 0));
+        q.push(req(ReqClass::Prefetch, 2, 0));
+        // The tagged prefetch is held for headroom; untagged kernel
+        // work is exempt and pops through.
+        assert_eq!(q.pop_ready(0).unwrap().tenant, None);
+        assert!(q.pop_ready(0).is_none(), "tagged background stays held");
+        assert_eq!(q.tenant_throttles, 1);
+        // One throttle event per request, not per scan.
+        assert!(q.pop_ready(0).is_none());
+        assert_eq!(q.tenant_throttles, 1);
+        // Headroom restored: the held prefetch is admitted.
+        q.devq.pop_front();
+        let r = q.pop_ready(0).unwrap();
+        assert_eq!(r.tenant, Some(3));
+        let evs = q.take_tenant_events();
+        assert!(evs.contains(&TenantEvent::Throttle {
+            tenant: 3,
+            class: ReqClass::Prefetch,
+            span: 0
+        }));
+        assert!(evs.contains(&TenantEvent::Admit {
+            tenant: 3,
+            class: ReqClass::Prefetch,
+            span: 0
+        }));
+        assert!(q.take_tenant_events().is_empty(), "drain clears the buffer");
+    }
+
+    #[test]
+    fn untagged_only_queues_record_no_tenant_state() {
+        let mut q = EngineQueues::new();
+        q.push(req(ReqClass::Demand, 1, 0));
+        q.push(req(ReqClass::Prefetch, 2, 0));
+        while q.pop_ready(0).is_some() {}
+        assert_eq!(q.tenant_admits, 0);
+        assert_eq!(q.tenant_throttles, 0);
+        assert!(q.take_tenant_events().is_empty());
     }
 
     #[test]

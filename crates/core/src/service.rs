@@ -35,8 +35,8 @@ use crate::ioserver::{spawn_engine, EngineHandles};
 use crate::recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
 use crate::replicas::ReplicaSet;
 use crate::requests::{
-    write_class, DevOp, EngineQueues, FetchMode, Outcome, ReqClass, Request, Ticket, DISPATCH_CPU,
-    MAX_REDISPATCH,
+    write_class, DevOp, EngineQueues, FetchMode, Outcome, ReqClass, Request, TenantEvent, TenantId,
+    Ticket, DISPATCH_CPU, MAX_REDISPATCH,
 };
 use crate::segcache::{LineState, SegCache};
 use crate::tsegfile::TsegTable;
@@ -81,6 +81,10 @@ pub enum StallEvent {
 
 /// The "hold on" notification agent callback type (§10).
 pub type StallNotifier = Box<dyn Fn(StallEvent)>;
+
+/// The notifier as stored: shared so [`TioInner::notify`] can clone the
+/// handle out and drop the cell borrow before invoking it.
+pub(crate) type SharedNotifier = RefCell<Option<Rc<dyn Fn(StallEvent)>>>;
 
 /// Upper bound on I/O-server lanes (and on the per-drive stat arrays).
 /// Jukeboxes with more drives than this share the last lane.
@@ -152,6 +156,13 @@ pub struct SvcStats {
     pub redispatched: u64,
     /// Watchdog deadline expirations on hung device ops.
     pub watchdog_fired: u64,
+    /// Tagged requests admitted by the per-tenant fair queue.
+    pub tenant_admits: u64,
+    /// Tagged requests deferred at least once (QoS headroom hold or a
+    /// fairer tenant picked first).
+    pub tenant_throttles: u64,
+    /// Tagged requests force-taken by the `TENANT_BOUND` guard.
+    pub tenant_promotions: u64,
     /// `true` when the jukebox reports more drives than the engine runs
     /// lanes ([`MAX_DRIVES`]): the extra drives silently share lanes,
     /// which skews per-drive accounting.
@@ -259,8 +270,11 @@ pub(crate) struct TioInner {
     pub(crate) seg_bytes: usize,
     /// Replica homes for tertiary segments (§5.4 variant).
     pub(crate) replicas: RefCell<ReplicaSet>,
-    /// Optional "hold on" notification agent (§10).
-    pub(crate) notifier: RefCell<Option<StallNotifier>>,
+    /// Optional "hold on" notification agent (§10). Stored as `Rc` so
+    /// [`TioInner::notify`] can clone the handle out and drop the
+    /// borrow before invoking it — a callback may re-enter the façade
+    /// (concurrent-session hot path, PR 3 double-borrow class).
+    pub(crate) notifier: SharedNotifier,
     /// Extra copies written per copy-out (0 = no replication).
     pub(crate) replicate: Cell<u32>,
     /// Retry/failover/quarantine knobs (§10).
@@ -309,7 +323,11 @@ pub(crate) fn tclass(class: ReqClass) -> hl_trace::Class {
 
 impl TioInner {
     pub(crate) fn notify(&self, event: StallEvent) {
-        if let Some(f) = &*self.notifier.borrow() {
+        // Clone the handle out of the cell first: no interior borrow is
+        // held across the callback, so a notifier that re-enters the
+        // façade (or replaces itself) cannot trip a double borrow.
+        let f = self.notifier.borrow().clone();
+        if let Some(f) = f {
             f(event);
         }
     }
@@ -322,6 +340,24 @@ impl TioInner {
     pub(crate) fn wake_svc(&self, at: SimTime) {
         if let Some(h) = &*self.handles.borrow() {
             h.waker.wake(h.svc, at);
+        }
+    }
+
+    /// Drains the fair-queue decisions recorded by the request queue and
+    /// emits them as `TenantAdmit`/`TenantThrottle` trace events at `at`.
+    /// Called by the service-process actor after each pop, outside the
+    /// queue borrow (the tracer may be observed re-entrantly).
+    pub(crate) fn emit_tenant_events(&self, at: SimTime) {
+        let events = self.queues.borrow_mut().take_tenant_events();
+        for ev in events {
+            match ev {
+                TenantEvent::Admit { tenant, class, span } => {
+                    self.tracer.tenant_admit(at, tenant, tclass(class), span);
+                }
+                TenantEvent::Throttle { tenant, class, span } => {
+                    self.tracer.tenant_throttle(at, tenant, tclass(class), span);
+                }
+            }
         }
     }
 
@@ -1412,7 +1448,7 @@ impl TertiaryIo {
 
     /// Installs the per-process "hold on" notification agent (§10).
     pub fn set_stall_notifier(&self, f: StallNotifier) {
-        *self.inner.notifier.borrow_mut() = Some(f);
+        *self.inner.notifier.borrow_mut() = Some(Rc::from(f));
     }
 
     /// Sets how many replica copies each copy-out writes (§5.4: "perhaps
@@ -1538,6 +1574,9 @@ impl TertiaryIo {
             let q = self.inner.queues.borrow();
             st.affinity_hits = q.affinity_hits;
             st.starvation_promotions = q.starvation_promotions;
+            st.tenant_admits = q.tenant_admits;
+            st.tenant_throttles = q.tenant_throttles;
+            st.tenant_promotions = q.tenant_promotions;
         }
         st.drive_down = t.drive_downs();
         st.redispatched = t.redispatches();
@@ -1586,17 +1625,38 @@ impl TertiaryIo {
     /// ticket immediately without entering the queues; a fetch already
     /// in flight is joined (coalesced) rather than duplicated.
     pub fn enqueue_demand(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
-        self.enqueue_fetch(at, tert_seg, FetchMode::Demand)
+        self.enqueue_fetch(at, tert_seg, FetchMode::Demand, None)
     }
 
     /// Queues an asynchronous prefetch fill (§6.2: the service/I/O
     /// processes "may choose unilaterally to ... insert new segments
     /// into the cache"). Coalesces like [`Self::enqueue_demand`].
     pub fn enqueue_prefetch(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
-        self.enqueue_fetch(at, tert_seg, FetchMode::Prefetch)
+        self.enqueue_fetch(at, tert_seg, FetchMode::Prefetch, None)
     }
 
-    fn enqueue_fetch(&self, at: SimTime, tert_seg: SegNo, mode: FetchMode) -> Ticket {
+    /// [`Self::enqueue_demand`] on behalf of a tenant: the request is
+    /// tagged for the per-tenant fair queue. Sessions
+    /// ([`EngineSession`]) are the usual caller.
+    pub fn enqueue_demand_for(&self, tenant: TenantId, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.enqueue_fetch(at, tert_seg, FetchMode::Demand, Some(tenant))
+    }
+
+    /// [`Self::enqueue_prefetch`] on behalf of a tenant. Tagged
+    /// background fetches are subject to the device-queue headroom
+    /// throttle, so one tenant's prefetch storm cannot crowd out
+    /// another's demand fetches.
+    pub fn enqueue_prefetch_for(&self, tenant: TenantId, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.enqueue_fetch(at, tert_seg, FetchMode::Prefetch, Some(tenant))
+    }
+
+    fn enqueue_fetch(
+        &self,
+        at: SimTime,
+        tert_seg: SegNo,
+        mode: FetchMode,
+        tenant: Option<TenantId>,
+    ) -> Ticket {
         self.inner.note_time(at);
         let line = self.inner.cache.borrow_mut().lookup(tert_seg, at);
         if let Some(line) = line {
@@ -1647,6 +1707,9 @@ impl TertiaryIo {
             enqueued_at: at,
             demand_enq: (mode == FetchMode::Demand).then_some(at),
             span: 0,
+            tenant,
+            passed: 0,
+            throttled: false,
             ticket: ticket.clone(),
         });
         ticket
@@ -1667,6 +1730,9 @@ impl TertiaryIo {
             enqueued_at: at,
             demand_enq: None,
             span: 0,
+            tenant: None,
+            passed: 0,
+            throttled: false,
             ticket: ticket.clone(),
         });
         ticket
@@ -1677,6 +1743,26 @@ impl TertiaryIo {
     /// which case the caller should park and register itself with
     /// [`Self::subscribe_copyout`] to be woken when a copy-out retires.
     pub fn try_enqueue_copy_out(&self, at: SimTime, tert_seg: SegNo) -> Option<Ticket> {
+        self.try_enqueue_copy_out_as(at, tert_seg, None)
+    }
+
+    /// [`Self::try_enqueue_copy_out`] on behalf of a tenant (the
+    /// server's `put` path).
+    pub fn try_enqueue_copy_out_for(
+        &self,
+        tenant: TenantId,
+        at: SimTime,
+        tert_seg: SegNo,
+    ) -> Option<Ticket> {
+        self.try_enqueue_copy_out_as(at, tert_seg, Some(tenant))
+    }
+
+    fn try_enqueue_copy_out_as(
+        &self,
+        at: SimTime,
+        tert_seg: SegNo,
+        tenant: Option<TenantId>,
+    ) -> Option<Ticket> {
         self.inner.note_time(at);
         if self.inner.queues.borrow().reqq_full() {
             return None;
@@ -1690,6 +1776,9 @@ impl TertiaryIo {
             enqueued_at: at,
             demand_enq: None,
             span: 0,
+            tenant,
+            passed: 0,
+            throttled: false,
             ticket: ticket.clone(),
         });
         Some(ticket)
@@ -1707,6 +1796,9 @@ impl TertiaryIo {
             enqueued_at: at,
             demand_enq: None,
             span: 0,
+            tenant: None,
+            passed: 0,
+            throttled: false,
             ticket: ticket.clone(),
         });
         ticket
@@ -1724,6 +1816,9 @@ impl TertiaryIo {
             enqueued_at: at,
             demand_enq: None,
             span: 0,
+            tenant: None,
+            passed: 0,
+            throttled: false,
             ticket: ticket.clone(),
         });
         ticket
@@ -1776,6 +1871,30 @@ impl TertiaryIo {
     /// (backpressure relief for throttled producers).
     pub fn subscribe_copyout(&self, id: ActorId) {
         self.inner.copyout_waiters.borrow_mut().push(id);
+    }
+
+    /// Sets a tenant's fair-queue weight: its share of admissions
+    /// relative to other tenants within each request class (default 1,
+    /// clamped to at least 1).
+    pub fn set_tenant_weight(&self, tenant: TenantId, weight: u32) {
+        self.inner
+            .queues
+            .borrow_mut()
+            .set_tenant_weight(tenant, weight);
+    }
+
+    /// Opens a per-client session onto a shared engine. Sessions are
+    /// the concurrent-client façade: any number may coexist on one
+    /// engine (cheap `Rc` clones), every request a session enqueues is
+    /// tagged with its tenant id for the fair queue, and no interior
+    /// borrow outlives a single call — interleaving sessions cannot
+    /// re-trip the historical double-borrow class (see the
+    /// `sessions_survive_reentrant_notifiers` test).
+    pub fn session(self: &Rc<Self>, tenant: TenantId) -> EngineSession {
+        EngineSession {
+            engine: Rc::clone(self),
+            tenant,
+        }
     }
 
     /// Current (request queue, device queue) depths.
@@ -1891,6 +2010,49 @@ fn class_of(mode: FetchMode) -> ReqClass {
     }
 }
 
+/// A per-client session handle onto a shared [`TertiaryIo`]
+/// ([`TertiaryIo::session`]): the unit of concurrency the server layer
+/// hands each connection. The session owns its identity (tenant id)
+/// as explicit handle state — nothing about the client lives in the
+/// engine's shared `RefCell` interior — and forwards each call to the
+/// engine's tenant-tagged entry points, which borrow that interior
+/// only within the call. Cloning a session shares the engine but the
+/// clone can be re-tenanted cheaply via [`TertiaryIo::session`].
+#[derive(Clone)]
+pub struct EngineSession {
+    engine: Rc<TertiaryIo>,
+    tenant: TenantId,
+}
+
+impl EngineSession {
+    /// The tenant every request from this session is tagged with.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
+    }
+
+    /// The shared engine underneath.
+    pub fn engine(&self) -> &TertiaryIo {
+        &self.engine
+    }
+
+    /// Tenant-tagged demand fetch ([`TertiaryIo::enqueue_demand_for`]).
+    pub fn enqueue_demand(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.engine.enqueue_demand_for(self.tenant, at, tert_seg)
+    }
+
+    /// Tenant-tagged prefetch ([`TertiaryIo::enqueue_prefetch_for`]).
+    pub fn enqueue_prefetch(&self, at: SimTime, tert_seg: SegNo) -> Ticket {
+        self.engine.enqueue_prefetch_for(self.tenant, at, tert_seg)
+    }
+
+    /// Tenant-tagged copy-out; `None` when the request queue is full
+    /// ([`TertiaryIo::try_enqueue_copy_out_for`]).
+    pub fn try_enqueue_copy_out(&self, at: SimTime, tert_seg: SegNo) -> Option<Ticket> {
+        self.engine
+            .try_enqueue_copy_out_for(self.tenant, at, tert_seg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1918,6 +2080,71 @@ mod tests {
         let tseg = Rc::new(RefCell::new(TsegTable::new()));
         let tio = Rc::new(TertiaryIo::new(map, Rc::new(jb.clone()), disk, cache, tseg));
         (tio, jb, map)
+    }
+
+    #[test]
+    fn sessions_tag_requests_for_the_fair_queue() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(0, 0, &vec![1u8; 1 << 20]).unwrap();
+        jb.poke_segment(0, 1, &vec![2u8; 1 << 20]).unwrap();
+        let s1 = tio.session(1);
+        let s2 = tio.session(2);
+        let t1 = s1.enqueue_demand(0, map.tert_seg(0, 0));
+        let t2 = s2.enqueue_demand(0, map.tert_seg(0, 1));
+        tio.pump();
+        assert!(t1.fetch_result().is_ok());
+        assert!(t2.fetch_result().is_ok());
+        let st = tio.stats();
+        assert_eq!(st.tenant_admits, 2);
+        assert_eq!(tio.tracer().tenant_admits(), 2, "admits reach the trace");
+        assert!(
+            tio.trace_findings().is_empty(),
+            "tenant events satisfy tracecheck"
+        );
+    }
+
+    #[test]
+    fn coalesced_sessions_share_one_media_read() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(1, 0, &vec![3u8; 1 << 20]).unwrap();
+        let seg = map.tert_seg(1, 0);
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|t| tio.session(t).enqueue_demand(0, seg))
+            .collect();
+        tio.pump();
+        let ready: Vec<SimTime> = tickets
+            .iter()
+            .map(|t| t.fetch_result().unwrap().1)
+            .collect();
+        assert!(ready.windows(2).all(|w| w[0] == w[1]));
+        let st = tio.stats();
+        assert_eq!(st.coalesced_fetches, 4, "five sessions, one media read");
+        assert_eq!(st.demand_fetches, 1);
+    }
+
+    #[test]
+    fn sessions_survive_reentrant_notifiers() {
+        let (tio, jb, map) = rig(4);
+        jb.poke_segment(0, 0, &vec![4u8; 1 << 20]).unwrap();
+        jb.poke_segment(0, 2, &vec![5u8; 1 << 20]).unwrap();
+        // A notifier that re-enters the façade mid-enqueue: reads queue
+        // state and enqueues a prefetch from inside the demand path.
+        // Before the Rc'd notifier cell this was the PR 3 double-borrow.
+        let reentrant = Rc::clone(&tio);
+        let side = map.tert_seg(0, 2);
+        tio.set_stall_notifier(Box::new(move |ev| {
+            if let StallEvent::HoldOn { at, .. } = ev {
+                let _ = reentrant.queue_depths();
+                reentrant.enqueue_prefetch(at, side);
+            }
+        }));
+        let ticket = tio.session(9).enqueue_demand(0, map.tert_seg(0, 0));
+        tio.pump();
+        assert!(ticket.fetch_result().is_ok());
+        assert!(
+            tio.cache().borrow_mut().lookup(side, 1 << 40).is_some(),
+            "the notifier's prefetch was served too"
+        );
     }
 
     #[test]

@@ -39,6 +39,12 @@
 //! 8. **Lane sharing** — when the configured jukebox drive count is
 //!    given and exceeds the engine's lane count, the silent sharing is
 //!    itself reported as a finding.
+//! 9. **Tenant fair-queue lifecycle** — `TenantAdmit` and
+//!    `TenantThrottle` events reference spans that are open at the time
+//!    of the event (a held or admitted request is necessarily in
+//!    flight), and no span is admitted twice (a request dispatches
+//!    once; re-dispatch after a drive fault is a `Redispatch`, not a
+//!    second admit).
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -234,6 +240,8 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
     let mut devops: Vec<(Lane, TraceTime, TraceTime)> = Vec::new();
     // Drive health bookkeeping (down windows, watchdog/re-dispatch spans).
     let mut health = HealthState::default();
+    // Spans the fair queue has admitted (each at most once).
+    let mut admitted: BTreeSet<u64> = BTreeSet::new();
 
     for ev in &events {
         check_event(
@@ -246,6 +254,7 @@ pub fn tracecheck(tracer: &Tracer, expect: &Expectations) -> Vec<Finding> {
             &mut wait,
             &mut devops,
             &mut health,
+            &mut admitted,
         );
     }
     // Drives still down at the end of the trace close open-ended windows
@@ -413,6 +422,7 @@ fn check_event(
     wait: &mut [u64; 5],
     devops: &mut Vec<(Lane, TraceTime, TraceTime)>,
     health: &mut HealthState,
+    admitted: &mut BTreeSet<u64>,
 ) {
     let mut fail = |msg: String| {
         findings.push(Finding {
@@ -517,6 +527,23 @@ fn check_event(
                 fail(format!("re-dispatch of span {span}, which is not open"));
             }
             health.redispatched.insert(*span);
+        }
+        EventKind::TenantAdmit { tenant, span, .. } => {
+            if !open.contains_key(span) {
+                fail(format!(
+                    "tenant n{tenant} admit references span {span}, which is not open"
+                ));
+            }
+            if !admitted.insert(*span) {
+                fail(format!("span {span} admitted twice by the fair queue"));
+            }
+        }
+        EventKind::TenantThrottle { tenant, span, .. } => {
+            if !open.contains_key(span) {
+                fail(format!(
+                    "tenant n{tenant} throttle references span {span}, which is not open"
+                ));
+            }
         }
         EventKind::Park { .. }
         | EventKind::Wake { .. }
@@ -792,6 +819,35 @@ mod tests {
                 .with_configured_drives(2),
         );
         assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn tenant_events_need_an_open_span() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Demand, Some(2));
+        t.tenant_admit(1, 0, Class::Demand, s);
+        t.tenant_throttle(1, 1, Class::Prefetch, s);
+        t.close_span(2, s, true);
+        assert!(tracecheck(&t, &Expectations::default()).is_empty());
+        // After the close, both events are findings.
+        t.tenant_admit(3, 0, Class::Demand, 99);
+        t.tenant_throttle(3, 1, Class::Prefetch, 99);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(f[0].message.contains("admit references span 99"));
+        assert!(f[1].message.contains("throttle references span 99"));
+    }
+
+    #[test]
+    fn double_admit_of_one_span_is_a_finding() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Demand, Some(2));
+        t.tenant_admit(1, 0, Class::Demand, s);
+        t.tenant_admit(2, 0, Class::Demand, s);
+        t.close_span(3, s, true);
+        let f = tracecheck(&t, &Expectations::default());
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("admitted twice"));
     }
 
     #[test]

@@ -281,6 +281,28 @@ pub enum EventKind {
         /// The lane that abandoned the op.
         from_drive: u32,
     },
+    /// The per-tenant fair queue admitted a tagged request for dispatch
+    /// (weighted fair selection within its class).
+    TenantAdmit {
+        /// The admitted tenant.
+        tenant: u32,
+        /// The request's class at dispatch.
+        class: Class,
+        /// The admitted request's span.
+        span: u64,
+    },
+    /// The per-tenant fair queue held a tagged request back: an older
+    /// eligible request was passed over in favour of a fairer tenant,
+    /// or background work was throttled to keep device-queue headroom
+    /// for demand traffic.
+    TenantThrottle {
+        /// The tenant whose request was held back.
+        tenant: u32,
+        /// The held request's class.
+        class: Class,
+        /// The held request's span.
+        span: u64,
+    },
 }
 
 /// One recorded event: a sequence number (emission order), the simulated
@@ -334,6 +356,12 @@ impl Event {
             EventKind::WatchdogFire { drive, span } => format!("wdog d{drive} {span}"),
             EventKind::Redispatch { span, from_drive } => {
                 format!("redisp {span} d{from_drive}")
+            }
+            EventKind::TenantAdmit { tenant, class, span } => {
+                format!("tadm n{tenant} {} {span}", class.label())
+            }
+            EventKind::TenantThrottle { tenant, class, span } => {
+                format!("tthr n{tenant} {} {span}", class.label())
             }
         };
         format!("#{:06} t{} {body}", self.seq, self.at)
@@ -398,6 +426,14 @@ impl Event {
             EventKind::Redispatch { span, from_drive } => format!(
                 "\"ev\":\"redispatch\",\"span\":{span},\"from_drive\":{from_drive}"
             ),
+            EventKind::TenantAdmit { tenant, class, span } => format!(
+                "\"ev\":\"tenant_admit\",\"tenant\":{tenant},\"class\":\"{}\",\"span\":{span}",
+                class.label()
+            ),
+            EventKind::TenantThrottle { tenant, class, span } => format!(
+                "\"ev\":\"tenant_throttle\",\"tenant\":{tenant},\"class\":\"{}\",\"span\":{span}",
+                class.label()
+            ),
         };
         format!("{{\"seq\":{},\"at\":{},{body}}}", self.seq, self.at)
     }
@@ -421,6 +457,8 @@ impl Event {
             EventKind::DriveUp { .. } => "drive_up",
             EventKind::WatchdogFire { .. } => "watchdog_fire",
             EventKind::Redispatch { .. } => "redispatch",
+            EventKind::TenantAdmit { .. } => "tenant_admit",
+            EventKind::TenantThrottle { .. } => "tenant_throttle",
         }
     }
 }
@@ -458,6 +496,10 @@ struct Recorder {
     watchdog_fires: u64,
     /// [`EventKind::Redispatch`] events emitted.
     redispatches: u64,
+    /// [`EventKind::TenantAdmit`] events emitted.
+    tenant_admits: u64,
+    /// [`EventKind::TenantThrottle`] events emitted.
+    tenant_throttles: u64,
     /// Currently open spans (deterministic order for snapshots).
     open_spans: BTreeMap<u64, Class>,
     /// Spans that were already open at the last [`Recorder::reset`]:
@@ -483,6 +525,8 @@ impl Recorder {
             drive_ups: 0,
             watchdog_fires: 0,
             redispatches: 0,
+            tenant_admits: 0,
+            tenant_throttles: 0,
             open_spans: BTreeMap::new(),
             baseline_open: Vec::new(),
         }
@@ -519,6 +563,8 @@ impl Recorder {
         self.drive_ups = 0;
         self.watchdog_fires = 0;
         self.redispatches = 0;
+        self.tenant_admits = 0;
+        self.tenant_throttles = 0;
         self.baseline_open = self.open_spans.iter().map(|(&s, &c)| (s, c)).collect();
     }
 }
@@ -711,6 +757,20 @@ impl Tracer {
         r.emit(at, EventKind::Redispatch { span, from_drive });
     }
 
+    /// Records the fair queue admitting a tenant-tagged request.
+    pub fn tenant_admit(&self, at: TraceTime, tenant: u32, class: Class, span: u64) {
+        let mut r = self.rec.borrow_mut();
+        r.tenant_admits += 1;
+        r.emit(at, EventKind::TenantAdmit { tenant, class, span });
+    }
+
+    /// Records the fair queue holding a tenant-tagged request back.
+    pub fn tenant_throttle(&self, at: TraceTime, tenant: u32, class: Class, span: u64) {
+        let mut r = self.rec.borrow_mut();
+        r.tenant_throttles += 1;
+        r.emit(at, EventKind::TenantThrottle { tenant, class, span });
+    }
+
     // ------------------------------------------------------------------
     // Observation
     // ------------------------------------------------------------------
@@ -786,6 +846,16 @@ impl Tracer {
     /// [`EventKind::Redispatch`] events recorded.
     pub fn redispatches(&self) -> u64 {
         self.rec.borrow().redispatches
+    }
+
+    /// [`EventKind::TenantAdmit`] events recorded.
+    pub fn tenant_admits(&self) -> u64 {
+        self.rec.borrow().tenant_admits
+    }
+
+    /// [`EventKind::TenantThrottle`] events recorded.
+    pub fn tenant_throttles(&self) -> u64 {
+        self.rec.borrow().tenant_throttles
     }
 
     /// Currently open spans, in id order.
@@ -933,6 +1003,24 @@ mod tests {
         assert!(t.render_json().contains("\"ev\":\"watchdog_fire\""));
         t.reset();
         assert_eq!(t.drive_downs(), 0);
+    }
+
+    #[test]
+    fn tenant_events_render_and_count() {
+        let t = Tracer::new();
+        let s = t.open_span(0, Class::Demand, Some(3));
+        t.tenant_admit(5, 2, Class::Demand, s);
+        t.tenant_throttle(6, 7, Class::Prefetch, s);
+        assert_eq!(t.tenant_admits(), 1);
+        assert_eq!(t.tenant_throttles(), 1);
+        let text = t.render_text();
+        assert_eq!(text[1], "#000001 t5 tadm n2 demand 0");
+        assert_eq!(text[2], "#000002 t6 tthr n7 prefetch 0");
+        assert!(t.render_json().contains("\"ev\":\"tenant_admit\""));
+        assert!(t.render_json().contains("\"ev\":\"tenant_throttle\""));
+        t.reset();
+        assert_eq!(t.tenant_admits(), 0);
+        assert_eq!(t.tenant_throttles(), 0);
     }
 
     #[test]

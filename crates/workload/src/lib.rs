@@ -25,5 +25,5 @@ pub mod zipf;
 
 pub use large_object::{LargeObject, Phase};
 pub use scan::{HierarchyScan, ScanDirection, ScanStep};
-pub use tenants::{Tenant, TenantKind, TenantMix};
+pub use tenants::{Tenant, TenantKind, TenantMix, ARRIVAL_STAGGER};
 pub use zipf::{FlashCrowd, ZipfStore, Zipfian};

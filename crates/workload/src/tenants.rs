@@ -17,6 +17,12 @@ use hl_sim::DetRng;
 
 use crate::zipf::Zipfian;
 
+/// Default arrival stagger between consecutive tenants, µs: tenant `i`
+/// starts issuing at `i × ARRIVAL_STAGGER` unless the mix is given an
+/// explicit schedule. Half a second keeps ramp-up visible in traces
+/// without serializing the mix.
+pub const ARRIVAL_STAGGER: u64 = 500_000;
+
 /// What a tenant does to the hierarchy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TenantKind {
@@ -38,6 +44,10 @@ pub struct Tenant {
     pub working_set: Vec<(u32, u32)>,
     /// Think time between requests, µs.
     pub think: u64,
+    /// When this tenant starts issuing, µs from run start. Stable per
+    /// id, so the same mix drives the thrash scenario and the server
+    /// fleet with identical ramp-up.
+    pub arrival: u64,
     zipf: Zipfian,
 }
 
@@ -97,6 +107,7 @@ impl TenantMix {
                 kind: TenantKind::Reader,
                 working_set: all,
                 think,
+                arrival: id as u64 * ARRIVAL_STAGGER,
                 zipf: Zipfian::new(seed ^ (0xbead + id as u64), set_size as usize, 1.0),
             });
         }
@@ -107,6 +118,7 @@ impl TenantMix {
                 kind: TenantKind::Writer,
                 working_set: (0..segments_per_volume).map(|s| (vol, s)).collect(),
                 think,
+                arrival: (readers + w) as u64 * ARRIVAL_STAGGER,
                 zipf: Zipfian::new(seed ^ (0x3017 + w as u64), 1, 1.0),
             });
         }
@@ -115,6 +127,20 @@ impl TenantMix {
             volumes,
             segments_per_volume,
         }
+    }
+
+    /// Replaces the default staggered arrivals with an explicit
+    /// per-tenant schedule (`f(id, kind)` → start time in µs).
+    pub fn with_arrival_schedule(mut self, f: impl Fn(u32, TenantKind) -> u64) -> TenantMix {
+        for t in &mut self.tenants {
+            t.arrival = f(t.id, t.kind);
+        }
+        self
+    }
+
+    /// The `(id, arrival µs)` schedule, in tenant order.
+    pub fn arrivals(&self) -> Vec<(u32, u64)> {
+        self.tenants.iter().map(|t| (t.id, t.arrival)).collect()
     }
 
     /// Distinct segments the readers can touch — the number that must
@@ -185,6 +211,17 @@ mod tests {
         let head = m.tenants[0].working_set[0];
         let head_hits = xs.iter().filter(|&&p| p == head).count();
         assert!(head_hits > 10, "head of the set drew {head_hits}/100");
+    }
+
+    #[test]
+    fn arrivals_default_to_the_stagger_and_accept_a_schedule() {
+        let m = TenantMix::new(5, 2, 1, 8, 6, 8, 0);
+        assert_eq!(m.arrivals(), [(0, 0), (1, ARRIVAL_STAGGER), (2, 2 * ARRIVAL_STAGGER)]);
+        let m = m.with_arrival_schedule(|id, kind| match kind {
+            TenantKind::Reader => 1000 + id as u64,
+            TenantKind::Writer => 0,
+        });
+        assert_eq!(m.arrivals(), [(0, 1000), (1, 1001), (2, 0)]);
     }
 
     #[test]
