@@ -272,4 +272,76 @@ print("BENCH_server.json OK:",
       "fairness ratio", fair["ratio"])
 EOF
 
+# Policy suite (DESIGN.md §6i): direct unit tests for the migration
+# policies, the random-workload × random-arm property pass, and the
+# pinned PolicyDecision-annotated migration trace.
+echo "==> policy suite (policy_units + policy_props + golden_trace pin)"
+cargo test -q --test policy_units --test policy_props
+
+# Policy ablation smoke (DESIGN.md §6i, ROADMAP item 3): 4 policy arms ×
+# 2 replayed workloads plus 2 fleet arms — 10 runs, each of which must
+# print "Tracecheck: 0 findings". The bench itself asserts the
+# replay-identity invariant (identical input-trace digests across arms
+# per workload), a clean byte oracle everywhere, and that at least one
+# policy beats the paper baseline under thrash; any "false" in the
+# "Policy checks" block fails the gate. BENCH_policies.json must exist
+# and parse with >= 4 arms x >= 2 workloads.
+echo "==> policy ablation smoke (4 arms x 2 workloads + 2 fleet arms)"
+pl=$(cargo bench -q -p hl-bench --bench policies 2>&1)
+echo "$pl" | grep -E "Tracecheck:|Policy checks" -A 8 | head -30
+if [ "$(echo "$pl" | grep -c "Tracecheck: 0 findings")" -ne 10 ]; then
+  echo "FAIL: policy ablation runs did not all replay clean"
+  exit 1
+fi
+if echo "$pl" | grep -A 8 "Policy checks" | grep -q "false"; then
+  echo "FAIL: policy ablation check regressed"
+  exit 1
+fi
+if [ ! -f BENCH_policies.json ]; then
+  echo "FAIL: BENCH_policies.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_policies.json") as f:
+    data = json.load(f)
+arms = data["arms"]
+names = {r["arm"] for r in arms}
+workloads = {r["workload"] for r in arms}
+assert len(names) >= 4, f"need >= 4 policy arms, got {sorted(names)}"
+assert len(workloads) >= 2, f"need >= 2 workloads, got {sorted(workloads)}"
+for r in arms:
+    for key in ("arm", "workload", "input_digest", "trace_digest",
+                "findings", "hits", "misses", "hit_rate", "stalls",
+                "demand_fetches", "demand_p50_us", "demand_p95_us",
+                "user_bytes", "device_bytes", "write_amp", "media_swaps",
+                "migrations", "disk_cleans", "tclean_passes",
+                "policy_decisions", "oracle_verified", "oracle_failures",
+                "end_time_us"):
+        assert key in r, f"{r['arm']}/{r['workload']}: missing {key}"
+    assert r["findings"] == 0, f"{r['arm']}/{r['workload']}: findings"
+    assert r["oracle_failures"] == 0, f"{r['arm']}/{r['workload']}: oracle"
+    assert r["policy_decisions"] > 0, f"{r['arm']}/{r['workload']}: no decisions"
+# Replay identity: per workload, one input digest shared by every arm.
+for wl in workloads:
+    ds = {r["input_digest"] for r in arms if r["workload"] == wl}
+    assert len(ds) == 1, f"{wl}: input digests diverged across arms: {ds}"
+# Beats-baseline: some challenger improves write amp or demand p95
+# under the thrash adversary.
+base = next(r for r in arms
+            if r["arm"] == "paper_baseline" and r["workload"] == "policy_thrash")
+beats = [r["arm"] for r in arms
+         if r["workload"] == "policy_thrash" and r["arm"] != "paper_baseline"
+         and (r["write_amp"] < base["write_amp"]
+              or r["demand_p95_us"] < base["demand_p95_us"])]
+assert beats, "no policy beat the paper baseline under thrash"
+fleet = data["fleet"]
+assert len(fleet) >= 2, "need >= 2 fleet arms"
+for f_ in fleet:
+    assert f_["findings"] == 0 and f_["lost_tickets"] == 0, f_["name"]
+print("BENCH_policies.json OK:",
+      {f"{r['arm']}/{r['workload']}": r["write_amp"] for r in arms},
+      "beats-baseline:", beats)
+EOF
+
 echo "CI OK"

@@ -70,7 +70,7 @@ fn ablation_cache() {
         ("fetch-time FIFO", EjectPolicy::FetchTime),
         ("least-worthy (§10)", EjectPolicy::LeastWorthy),
     ] {
-        let mut m = mini(|c| c.eject = policy.clone());
+        let mut m = mini(|c| c.eject = policy);
         migrate_files(&mut m, 15);
         m.hl.eject_all();
         m.hl.drop_caches();

@@ -1,0 +1,257 @@
+//! Policy ablation bench (DESIGN.md §6i, ROADMAP item 3).
+//!
+//! Replays the two standard [`OpStream`] workloads under every standard
+//! policy arm, regenerating each stream fresh per arm and gating on the
+//! replay-identity invariant: the input-trace digests must be identical
+//! across arms per workload, so metric differences can only come from
+//! the policy under test. Every replay must finish with zero tracecheck
+//! findings and a clean byte oracle; the thrash workload must show at
+//! least one new policy beating the paper baseline on write
+//! amplification or demand p95 residency. A fleet arm replays the
+//! tenant-thrash adversary through `run_fleet`, judging cache-ejection
+//! policies by client-observed per-tenant p95. Emits
+//! `BENCH_policies.json` at the repository root.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use hl_bench::policies::{run_policy_arm, standard_arms, standard_workloads, ArmReport};
+use hl_bench::table::{print_table, Row};
+use hl_server::{run_fleet, FleetConfig, PoolKind};
+use highlight::segcache::EjectPolicy;
+
+fn check(r: &ArmReport) {
+    assert_eq!(
+        r.findings, 0,
+        "{}/{}: tracecheck findings",
+        r.arm, r.workload
+    );
+    println!("{}/{}: Tracecheck: 0 findings", r.arm, r.workload);
+    assert_eq!(
+        r.oracle_failures, 0,
+        "{}/{}: byte oracle diverged",
+        r.arm, r.workload
+    );
+    assert!(
+        r.oracle_verified > 0,
+        "{}/{}: oracle never exercised",
+        r.arm, r.workload
+    );
+    assert!(
+        r.policy_decisions > 0,
+        "{}/{}: policy never consulted",
+        r.arm, r.workload
+    );
+}
+
+/// One fleet arm: the tenant-thrash adversary through the concurrent
+/// server, judged by client-observed per-tenant latency.
+struct FleetArm {
+    name: &'static str,
+    eject: EjectPolicy,
+    p95: u64,
+    worst_tenant_p95: u64,
+    findings: usize,
+    lost_tickets: u64,
+    digest: u64,
+    demand_fetches: u64,
+}
+
+fn thrash_fleet_config(eject: EjectPolicy) -> FleetConfig {
+    let mut cfg = FleetConfig::small(0xA4, PoolKind::WorkStealing);
+    // Cache-starve the shards so ejection policy decides who waits on
+    // the robot — but keep lines ≥ peak concurrent fetches per shard,
+    // since an all-lines-pinned cache refuses fetches by design.
+    cfg.spec.cache_lines = 16;
+    cfg.clients = 24;
+    cfg.requests_per_client = 4;
+    cfg.tenants = 6;
+    cfg.eject = eject;
+    cfg
+}
+
+fn run_fleet_arm(name: &'static str, eject: EjectPolicy) -> FleetArm {
+    let r = run_fleet(&thrash_fleet_config(eject));
+    assert_eq!(r.lost_tickets, 0, "{name}: lost tickets");
+    assert_eq!(r.errors, 0, "{name}: client-visible errors");
+    assert_eq!(r.findings, 0, "{name}: tracecheck findings");
+    println!("fleet/{name}: Tracecheck: 0 findings");
+    let worst = r.per_tenant.values().map(|t| t.p95).max().unwrap_or(0);
+    FleetArm {
+        name,
+        eject,
+        p95: r.p95,
+        worst_tenant_p95: worst,
+        findings: r.findings,
+        lost_tickets: r.lost_tickets,
+        digest: r.digest,
+        demand_fetches: r.demand_fetches,
+    }
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // The ablation proper: every arm × every workload, streams
+    // regenerated fresh per arm.
+    // ------------------------------------------------------------------
+    let arms = standard_arms();
+    let mut reports: Vec<ArmReport> = Vec::new();
+    for arm in &arms {
+        for stream in standard_workloads() {
+            let r = run_policy_arm(&stream, arm);
+            check(&r);
+            reports.push(r);
+        }
+    }
+
+    // Replay-identity gate: per workload, every arm saw the byte-exact
+    // same input stream.
+    let mut digests: BTreeMap<&str, Vec<u64>> = BTreeMap::new();
+    for r in &reports {
+        digests.entry(r.workload).or_default().push(r.input_digest);
+    }
+    let mut replay_identical = true;
+    for (wl, ds) in &digests {
+        assert_eq!(ds.len(), arms.len(), "{wl}: one replay per arm");
+        if ds.iter().any(|d| d != &ds[0]) {
+            replay_identical = false;
+            eprintln!("{wl}: input digests diverged across arms: {ds:x?}");
+        }
+    }
+    assert!(
+        replay_identical,
+        "replay-identity invariant: same workload, same bytes, every arm"
+    );
+
+    // Beats-baseline gate (ISSUE acceptance): in the thrash adversary,
+    // at least one new policy must beat the paper baseline on write
+    // amplification or demand p95 residency.
+    let thrash = |arm: &str| {
+        reports
+            .iter()
+            .find(|r| r.arm == arm && r.workload == "policy_thrash")
+            .expect("thrash replay present")
+    };
+    let base = thrash("paper_baseline");
+    let challengers = ["cost_benefit", "generational", "adaptive"];
+    let mut winners: Vec<String> = Vec::new();
+    for name in challengers {
+        let c = thrash(name);
+        if c.write_amp < base.write_amp {
+            winners.push(format!(
+                "{name} write_amp {:.3} < baseline {:.3}",
+                c.write_amp, base.write_amp
+            ));
+        }
+        if c.demand_p95 < base.demand_p95 {
+            winners.push(format!(
+                "{name} demand_p95 {}us < baseline {}us",
+                c.demand_p95, base.demand_p95
+            ));
+        }
+    }
+    assert!(
+        !winners.is_empty(),
+        "no challenger beat the paper baseline on write_amp ({:.3}) or demand p95 ({}us) under thrash",
+        base.write_amp,
+        base.demand_p95
+    );
+
+    // ------------------------------------------------------------------
+    // Fleet arm: the same adversary through the concurrent server,
+    // judged by client-observed per-tenant p95.
+    // ------------------------------------------------------------------
+    let fleet = [
+        run_fleet_arm("lru_baseline", EjectPolicy::Lru),
+        run_fleet_arm("least_worthy", EjectPolicy::LeastWorthy),
+    ];
+
+    // ------------------------------------------------------------------
+    // Report.
+    // ------------------------------------------------------------------
+    let rows: Vec<Row> = reports
+        .iter()
+        .map(|r| Row {
+            label: format!("{} / {}", r.workload, r.arm),
+            paper: "-".into(),
+            measured: format!(
+                "hit {:.0}% wamp {:.2} p95 {:.1}s swaps {} cleans {}/{}",
+                r.hit_rate() * 100.0,
+                r.write_amp,
+                r.demand_p95 as f64 / 1e6,
+                r.media_swaps,
+                r.disk_cleans,
+                r.tclean_passes
+            ),
+        })
+        .chain(fleet.iter().map(|f| Row {
+            label: format!("fleet / {}", f.name),
+            paper: "-".into(),
+            measured: format!(
+                "p95 {}us worst-tenant p95 {}us fetches {}",
+                f.p95, f.worst_tenant_p95, f.demand_fetches
+            ),
+        }))
+        .collect();
+    print_table(
+        "Policy ablation: migration x cleaning x ejection",
+        ("arm", "paper", "measured"),
+        &rows,
+    );
+
+    let arm_json: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    let fleet_json: Vec<String> = fleet
+        .iter()
+        .map(|f| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"eject\":\"{:?}\",\"p95_us\":{},",
+                    "\"worst_tenant_p95_us\":{},\"findings\":{},",
+                    "\"lost_tickets\":{},\"digest\":\"{:#018x}\",",
+                    "\"demand_fetches\":{}}}"
+                ),
+                f.name,
+                f.eject,
+                f.p95,
+                f.worst_tenant_p95,
+                f.findings,
+                f.lost_tickets,
+                f.digest,
+                f.demand_fetches
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"arms\":[{}],\"fleet\":[{}]}}",
+        arm_json.join(","),
+        fleet_json.join(",")
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_policies.json");
+    std::fs::write(&out, &json).expect("write BENCH_policies.json");
+    println!("\nwrote {}", out.display());
+
+    println!("\nPolicy checks:");
+    println!(
+        "  replay identity held: {} ({} workloads x {} arms)",
+        replay_identical,
+        digests.len(),
+        arms.len()
+    );
+    println!(
+        "  byte oracle clean everywhere: {} ({} reads verified)",
+        reports.iter().all(|r| r.oracle_failures == 0),
+        reports.iter().map(|r| r.oracle_verified).sum::<u64>()
+    );
+    println!(
+        "  every arm consulted its policies: {} ({} decisions total)",
+        reports.iter().all(|r| r.policy_decisions > 0),
+        reports.iter().map(|r| r.policy_decisions).sum::<u64>()
+    );
+    for w in &winners {
+        println!("  beats baseline under thrash: {w}");
+    }
+    println!(
+        "  fleet judged by per-tenant p95: lru {}us vs least_worthy {}us",
+        fleet[0].worst_tenant_p95, fleet[1].worst_tenant_p95
+    );
+}

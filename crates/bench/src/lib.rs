@@ -23,6 +23,7 @@
 
 pub mod fsx;
 pub mod pipeline;
+pub mod policies;
 pub mod rigs;
 pub mod scenarios;
 pub mod table;

@@ -137,7 +137,7 @@ impl HighLight {
     pub fn mkfs(disks: Rc<dyn BlockDev>, jukebox: Rc<dyn Footprint>, cfg: HlConfig) -> Result<()> {
         let map = Self::build_map(&disks, &jukebox, &cfg.lfs);
         let tseg = Rc::new(RefCell::new(TsegTable::new()));
-        let cache = Rc::new(RefCell::new(SegCache::new(Vec::new(), cfg.eject.clone())));
+        let cache = Rc::new(RefCell::new(SegCache::new(Vec::new(), cfg.eject)));
         let tio = Rc::new(TertiaryIo::new(
             map,
             jukebox,
@@ -175,7 +175,7 @@ impl HighLight {
     ) -> Result<(HighLight, RecoveryReport)> {
         let map = Self::build_map(&disks, &jukebox, &cfg.lfs);
         let tseg = Rc::new(RefCell::new(TsegTable::new()));
-        let cache = Rc::new(RefCell::new(SegCache::new(Vec::new(), cfg.eject.clone())));
+        let cache = Rc::new(RefCell::new(SegCache::new(Vec::new(), cfg.eject)));
         let tio = Rc::new(TertiaryIo::new(
             map,
             jukebox,
@@ -769,11 +769,15 @@ impl HighLight {
             .borrow_mut()
             .set_state(st.seg, LineState::DirtyWait);
         stats.segments_sealed += 1;
-        // Advance the volume cursor past this slot.
+        // Advance the volume cursor past this slot and stamp the
+        // volume's write recency (the cost-benefit age clock: a volume
+        // whose last_serial lags far behind the log is cold).
         if let Some((vol, slot)) = self.map.vol_slot(st.seg) {
+            let serial = self.lfs.log_serial();
             let mut t = self.tseg.borrow_mut();
             let v = t.volume_mut(vol);
             v.next_slot = v.next_slot.max(slot + 1);
+            v.last_serial = v.last_serial.max(serial);
         }
         match self.copyout {
             CopyOutMode::Immediate => self.copy_out_now(st.seg, stats)?,

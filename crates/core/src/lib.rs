@@ -17,7 +17,11 @@
 //!   recovery, with the per-phase timing Table 4 reports;
 //! - the **migrator** ([`migrator`]): a second cleaner implementing the
 //!   space-time-product policy the paper's migrator uses (§5.1), plus the
-//!   namespace-unit (§5.3) and block-range (§5.2) policies it proposes;
+//!   namespace-unit (§5.3) and block-range (§5.2) policies it proposes,
+//!   hot/cold generational separation, and adaptive load throttling;
+//! - pluggable **cleaning policies** ([`policy`]): one cost-benefit
+//!   scoring vocabulary shared by the disk log cleaner and the tertiary
+//!   volume cleaner (ROADMAP item 3, Lomet & Luo);
 //! - the **tertiary segment summary file** ([`tsegfile`], §6.4);
 //! - **prefetch** policies ([`prefetch`], §5.3–5.4), **segment replicas**
 //!   (§5.4), and the **tertiary volume cleaner** (§10 future work,
@@ -33,6 +37,7 @@ pub mod fs;
 pub mod hlfsck;
 mod ioserver;
 pub mod migrator;
+pub mod policy;
 pub mod prefetch;
 pub mod recovery;
 pub mod replicas;
@@ -47,7 +52,11 @@ pub use addr::UniformMap;
 pub use fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
 pub use fs::{CopyOutMode, HighLight, HlConfig, MigrateStats, RearrangeMode};
 pub use hlfsck::{HlFinding, HlfsckReport};
-pub use migrator::{BlockRangePolicy, MigrationPolicy, Migrator, NamespacePolicy, StpPolicy};
+pub use migrator::{
+    AdaptiveThrottle, BlockRangePolicy, GenerationalPolicy, MigrationPolicy, Migrator,
+    NamespacePolicy, StpPolicy,
+};
+pub use policy::{CleanCandidate, CleaningPolicy, CostBenefitCleaning, LowestDensity};
 pub use prefetch::PrefetchPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
 pub use replicas::ReplicaSet;

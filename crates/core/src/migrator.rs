@@ -6,15 +6,25 @@
 //! volume" (§6.2). "The current migrator in fact uses STP with exponents
 //! of 1 for the file size and access times" (§5.1).
 //!
-//! Three policies from the paper are implemented:
+//! Five policies are implemented — three from the paper and two modern
+//! extensions (ROADMAP item 3):
 //!
 //! - [`StpPolicy`] — weighted space-time product over whole files (§5.1);
 //! - [`NamespacePolicy`] — subtree units with a unitsize-time product and
 //!   the mostly-dormant secondary criterion (§5.3);
 //! - [`BlockRangePolicy`] — sub-file migration of cold block ranges,
-//!   driven by the access-extent records (§5.2).
+//!   driven by the access-extent records (§5.2);
+//! - [`GenerationalPolicy`] — hot/cold generational separation fed by the
+//!   [`AccessTracker`]: hot files are withheld entirely, cold files are
+//!   banded by age class and clustered per band (tiering-survey style
+//!   promotion/demotion);
+//! - [`AdaptiveThrottle`] — a wrapper that sheds migration work under
+//!   fleet load so the migrator/cleaner's device traffic yields to
+//!   demand fetches.
 
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use hl_lfs::error::Result;
 use hl_lfs::migrate::MigrateItem;
@@ -475,6 +485,206 @@ impl MigrationPolicy for BlockRangePolicy {
     }
 }
 
+/// Hot/cold generational separation. The [`AccessTracker`]'s extent
+/// timestamps (not just inode atimes — a single hot page keeps a file's
+/// atime fresh while most of it is stone cold) classify every file into
+/// *hot* (touched within `hot_window`: withheld from migration unless
+/// the cold bands cannot meet the byte target) or one of
+/// `generations` cold bands of doubling width. Cold bands migrate
+/// coldest-first, and each band carries its own unit label so files that
+/// cooled together are clustered onto neighbouring tertiary segments —
+/// data that aged together will likely be recalled (or die) together,
+/// which is the generational bet.
+pub struct GenerationalPolicy {
+    /// Walk root.
+    pub root: String,
+    /// Files touched within this window are hot and stay on disk.
+    pub hot_window: SimTime,
+    /// Number of cold age bands (band 0 = coldest).
+    pub generations: u32,
+    /// Migrate metadata with the files.
+    pub migrate_inodes: bool,
+}
+
+impl GenerationalPolicy {
+    /// Defaults: 10-minute hot window, 4 cold generations.
+    pub fn new(root: &str) -> GenerationalPolicy {
+        GenerationalPolicy {
+            root: root.to_string(),
+            hot_window: hl_sim::time::secs(600.0),
+            generations: 4,
+            migrate_inodes: true,
+        }
+    }
+
+    /// The age band of a file last touched at `last_touch`: `None` for
+    /// hot files, otherwise `Some(band)` with 0 the coldest. Band
+    /// boundaries double: band `generations-1` covers `[w, 2w)`, the
+    /// next `[2w, 4w)`, and so on, with everything older than the last
+    /// boundary in band 0.
+    pub fn generation(&self, last_touch: SimTime, now: SimTime) -> Option<u32> {
+        let age = now.saturating_sub(last_touch);
+        if age < self.hot_window {
+            return None;
+        }
+        let mut band = self.generations.saturating_sub(1);
+        let mut bound = self.hot_window.saturating_mul(2);
+        while band > 0 && age >= bound {
+            band -= 1;
+            bound = bound.saturating_mul(2);
+        }
+        Some(band)
+    }
+
+    /// A file's last touch: the freshest tracked extent if any (sub-file
+    /// truth), else the inode's `max(atime, mtime)`.
+    fn last_touch(tracker: &AccessTracker, c: &Candidate) -> SimTime {
+        tracker
+            .extents(c.ino)
+            .iter()
+            .map(|e| e.last_access)
+            .max()
+            .unwrap_or_else(|| c.atime.max(c.mtime))
+    }
+}
+
+impl MigrationPolicy for GenerationalPolicy {
+    fn select(
+        &mut self,
+        fs: &mut Lfs,
+        tracker: &AccessTracker,
+        now: SimTime,
+        target_bytes: u64,
+    ) -> Result<Vec<(Vec<MigrateItem>, Option<u32>)>> {
+        let cands = survey(fs, &self.root)?;
+        // Band every cold candidate; hot files are withheld (but see the
+        // pressure spill below).
+        let mut bands: Vec<Vec<&Candidate>> = vec![Vec::new(); self.generations as usize];
+        let mut hot: Vec<&Candidate> = Vec::new();
+        for c in &cands {
+            match self.generation(Self::last_touch(tracker, c), now) {
+                Some(b) => bands[b as usize].push(c),
+                None => hot.push(c),
+            }
+        }
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        for (band, files) in bands.iter_mut().enumerate() {
+            if bytes >= target_bytes {
+                break;
+            }
+            if files.is_empty() {
+                continue;
+            }
+            // Within a band: oldest first, path as deterministic tie-break.
+            files.sort_by(|a, b| {
+                a.atime
+                    .max(a.mtime)
+                    .cmp(&b.atime.max(b.mtime))
+                    .then_with(|| a.path.cmp(&b.path))
+            });
+            let mut items = Vec::new();
+            for c in files.iter() {
+                if bytes >= target_bytes {
+                    break;
+                }
+                items.extend(fs.whole_file_items(c.ino, self.migrate_inodes)?);
+                bytes += c.size;
+            }
+            if !items.is_empty() {
+                out.push((items, Some(band as u32)));
+            }
+        }
+        // Pressure spill: withholding hot files must never starve the
+        // log. If the cold bands cannot meet the target, the
+        // least-recently-touched hot files go too — unlabelled, since
+        // they share no cooling cohort.
+        if bytes < target_bytes && !hot.is_empty() {
+            hot.sort_by(|a, b| {
+                Self::last_touch(tracker, a)
+                    .cmp(&Self::last_touch(tracker, b))
+                    .then_with(|| a.path.cmp(&b.path))
+            });
+            let mut items = Vec::new();
+            for c in hot {
+                if bytes >= target_bytes {
+                    break;
+                }
+                items.extend(fs.whole_file_items(c.ino, self.migrate_inodes)?);
+                bytes += c.size;
+            }
+            if !items.is_empty() {
+                out.push((items, None));
+            }
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "generational"
+    }
+}
+
+/// Adaptive write-cost throttling (ROADMAP item 3): wraps any policy and
+/// scales its byte target by the current *fleet load* — a `[0, 1]`
+/// signal the harness derives from recent demand activity. Under heavy
+/// demand traffic, migration (and the cleaning it triggers) is
+/// background work competing with clients for the same drives; shedding
+/// it trades free-space headroom for client latency, down to a `floor`
+/// fraction so the log can never wedge.
+pub struct AdaptiveThrottle {
+    /// The wrapped policy that does the actual selection.
+    pub inner: Box<dyn MigrationPolicy>,
+    /// Shared load signal, `0.0` (idle) to `1.0` (saturated).
+    load: Rc<Cell<f64>>,
+    /// Minimum fraction of the byte target that always survives.
+    pub floor: f64,
+}
+
+impl AdaptiveThrottle {
+    /// Wraps `inner` with a floor of 25 %.
+    pub fn new(inner: Box<dyn MigrationPolicy>) -> AdaptiveThrottle {
+        AdaptiveThrottle {
+            inner,
+            load: Rc::new(Cell::new(0.0)),
+            floor: 0.25,
+        }
+    }
+
+    /// The shared load signal; the harness holds a clone and writes the
+    /// observed load into it between migrator steps.
+    pub fn load_signal(&self) -> Rc<Cell<f64>> {
+        self.load.clone()
+    }
+
+    /// The byte target that survives throttling at the current load.
+    pub fn throttled_target(&self, target_bytes: u64) -> u64 {
+        let load = self.load.get().clamp(0.0, 1.0);
+        let frac = (1.0 - load).max(self.floor.clamp(0.0, 1.0));
+        (target_bytes as f64 * frac) as u64
+    }
+}
+
+impl MigrationPolicy for AdaptiveThrottle {
+    fn select(
+        &mut self,
+        fs: &mut Lfs,
+        tracker: &AccessTracker,
+        now: SimTime,
+        target_bytes: u64,
+    ) -> Result<Vec<(Vec<MigrateItem>, Option<u32>)>> {
+        let target = self.throttled_target(target_bytes);
+        if target == 0 {
+            return Ok(Vec::new());
+        }
+        self.inner.select(fs, tracker, now, target)
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-throttle"
+    }
+}
+
 /// The migration daemon: runs a policy when disk space runs low
 /// ("HighLight ... allows a migrator process to run continuously,
 /// monitoring storage needs and migrating file data as required", §8.2).
@@ -490,8 +700,13 @@ pub struct Migrator {
 impl Migrator {
     /// A migrator with the paper's STP policy.
     pub fn stp() -> Migrator {
+        Migrator::with_policy(Box::new(StpPolicy::paper()))
+    }
+
+    /// A migrator with the default watermarks and the given policy.
+    pub fn with_policy(policy: Box<dyn MigrationPolicy>) -> Migrator {
         Migrator {
-            policy: Box::new(StpPolicy::paper()),
+            policy,
             low_water_segs: 8,
             high_water_segs: 16,
         }
@@ -521,6 +736,12 @@ impl Migrator {
         let now = hl.clock().now();
         let tracker = hl.tracker.clone();
         let batches = self.policy.select(hl.lfs(), &tracker, now, target_bytes)?;
+        let items: usize = batches.iter().map(|(b, _)| b.len()).sum();
+        hl.tio().tracer().policy_decision(
+            now,
+            self.policy.name(),
+            &format!("select batches {} items {items}", batches.len()),
+        );
         let mut total = MigrateStats::default();
         for (items, unit) in batches {
             let s = hl.migrate_items(&items, unit)?;
@@ -590,6 +811,35 @@ mod tests {
         t.record(3, 0, 1, 1);
         t.forget(3);
         assert!(t.extents(3).is_empty());
+    }
+
+    #[test]
+    fn generational_bands_by_doubling_age() {
+        let p = GenerationalPolicy {
+            root: "/".to_string(),
+            hot_window: 100,
+            generations: 4,
+            migrate_inodes: true,
+        };
+        let now = 10_000;
+        assert_eq!(p.generation(now - 50, now), None, "hot stays put");
+        assert_eq!(p.generation(now - 100, now), Some(3), "[w, 2w)");
+        assert_eq!(p.generation(now - 250, now), Some(2), "[2w, 4w)");
+        assert_eq!(p.generation(now - 500, now), Some(1), "[4w, 8w)");
+        assert_eq!(p.generation(now - 900, now), Some(0), "oldest band");
+        assert_eq!(p.generation(0, now), Some(0), "ancient is coldest");
+    }
+
+    #[test]
+    fn adaptive_throttle_scales_target_down_to_its_floor() {
+        let t = AdaptiveThrottle::new(Box::new(StpPolicy::paper()));
+        assert_eq!(t.throttled_target(1000), 1000, "idle: full target");
+        t.load_signal().set(0.5);
+        assert_eq!(t.throttled_target(1000), 500);
+        t.load_signal().set(1.0);
+        assert_eq!(t.throttled_target(1000), 250, "floor holds at saturation");
+        t.load_signal().set(7.0);
+        assert_eq!(t.throttled_target(1000), 250, "out-of-range load clamps");
     }
 
     #[test]

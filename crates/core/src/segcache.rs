@@ -59,7 +59,7 @@ pub struct CacheLine {
 /// Cache ejection policies (§5.4: "Cache flushing could be handled by any
 /// of the standard policies: LRU, random, working-set observations,
 /// etc."; §10 adds the least-worthy/MRU hybrid).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub enum EjectPolicy {
     /// Least recently used.
     Lru,
@@ -87,6 +87,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lines ejected to make room.
     pub ejections: u64,
+    /// Allocation attempts that found every line pinned (the caller had
+    /// to wait for staging/dirty-wait lines to drain — a policy-visible
+    /// contention signal).
+    pub stalls: u64,
 }
 
 /// The segment cache: a bounded pool of disk segments and the directory
@@ -272,7 +276,10 @@ impl SegCache {
         let (disk_seg, ejected) = if let Some(d) = self.free.pop() {
             (d, None)
         } else {
-            let victim = self.pick_victim()?;
+            let Some(victim) = self.pick_victim() else {
+                self.stats.stalls += 1;
+                return None;
+            };
             let line = self.dir.remove(&victim).expect("victim listed");
             self.stats.ejections += 1;
             self.trace_line(now, victim, tag(line.state), hl_trace::LineTag::Empty);

@@ -20,6 +20,7 @@ use hl_lfs::types::{LBlock, SegNo, UNASSIGNED};
 use hl_vdev::BLOCK_SIZE;
 
 use crate::fs::HighLight;
+use crate::policy::{CleanCandidate, CleaningPolicy, LowestDensity};
 use hl_lfs::config::AddressMap;
 
 /// What one tertiary cleaning pass did.
@@ -35,26 +36,61 @@ pub struct TCleanReport {
     pub inodes_moved: u64,
 }
 
-/// Picks the volume with the least live data among the *full* (or
-/// exhausted-cursor) volumes; cleaning a volume still being filled would
-/// fight the migrator. Returns `None` if no volume qualifies.
+/// Picks a victim under the default [`LowestDensity`] policy — the
+/// paper-era behavior (least live data wins, earliest volume on ties).
 pub fn select_victim_volume(hl: &mut HighLight) -> Option<u32> {
+    select_victim_volume_with(hl, &LowestDensity)
+}
+
+/// Picks the best victim among the *full* (or exhausted-cursor) volumes
+/// as scored by `policy`; cleaning a volume still being filled would
+/// fight the migrator. The winning pick is recorded as a
+/// [`policy_decision`](hl_trace::Tracer::policy_decision) mark. Returns
+/// `None` if no volume qualifies.
+pub fn select_victim_volume_with(
+    hl: &mut HighLight,
+    policy: &dyn CleaningPolicy,
+) -> Option<u32> {
     let map = hl.map();
-    let tseg = hl.tseg();
-    let tseg = tseg.borrow();
-    let mut best: Option<(u64, u32)> = None;
-    for vol in 0..map.volumes {
-        let v = tseg.volume(vol);
-        let exhausted = v.full || v.next_slot >= map.segs_per_volume;
-        if !exhausted {
-            continue;
+    let seg_payload = (map.blocks_per_seg as u64).saturating_sub(1) * BLOCK_SIZE as u64;
+    let best = {
+        let tseg = hl.tseg();
+        let tseg = tseg.borrow();
+        // Volume age = how far behind the newest write this volume's own
+        // last write sits; a volume untouched for many migration serials
+        // is cold, and its reclaimed space will stay free.
+        let newest = (0..map.volumes)
+            .map(|v| tseg.volume(v).last_serial)
+            .max()
+            .unwrap_or(0);
+        let mut best: Option<(f64, u32)> = None;
+        for vol in 0..map.volumes {
+            let v = tseg.volume(vol);
+            let exhausted = v.full || v.next_slot >= map.segs_per_volume;
+            if !exhausted {
+                continue;
+            }
+            let cand = CleanCandidate {
+                id: vol,
+                live_bytes: tseg.volume_live(&map, vol),
+                capacity_bytes: seg_payload * map.segs_per_volume as u64,
+                age: newest.saturating_sub(v.last_serial),
+                segments: map.segs_per_volume,
+            };
+            let s = policy.score(&cand);
+            if best.map(|(b, _)| s > b).unwrap_or(true) {
+                best = Some((s, vol));
+            }
         }
-        let live = tseg.volume_live(&map, vol);
-        if best.map(|(l, _)| live < l).unwrap_or(true) {
-            best = Some((live, vol));
-        }
-    }
-    best.map(|(_, vol)| vol)
+        best
+    };
+    let vol = best.map(|(_, vol)| vol)?;
+    hl.tio().tracer().policy_decision(
+        hl.clock().now(),
+        policy.name(),
+        &format!("tclean victim v{vol}"),
+    );
+    Some(vol)
 }
 
 /// Cleans one tertiary volume end to end.
@@ -270,6 +306,76 @@ mod tests {
             select_victim_volume(&mut hl),
             None,
             "volume 0 has free slots and must not be cleaned under the migrator"
+        );
+    }
+
+    #[test]
+    fn default_policy_reproduces_the_legacy_lowest_density_victim() {
+        let (mut hl, _clock) = mounted(3, 2);
+        for i in 0..6u32 {
+            migrate_one(&mut hl, &format!("/f{i}"), i);
+        }
+        // vol0: /f0 /f1, vol1: /f2 /f3, vol2: /f4 /f5. Make vol1 the
+        // emptiest, vol0 half-dead.
+        hl.unlink("/f2").expect("unlink");
+        hl.unlink("/f3").expect("unlink");
+        hl.unlink("/f0").expect("unlink");
+        hl.sync().expect("sync");
+
+        // The historical hardcoded scan, verbatim: least live data among
+        // exhausted volumes, strict `<` so the earliest volume wins ties.
+        let map = hl.map();
+        let legacy = {
+            let tseg = hl.tseg();
+            let tseg = tseg.borrow();
+            let mut best: Option<(u64, u32)> = None;
+            for vol in 0..map.volumes {
+                let v = tseg.volume(vol);
+                if !(v.full || v.next_slot >= map.segs_per_volume) {
+                    continue;
+                }
+                let live = tseg.volume_live(&map, vol);
+                if best.map(|(l, _)| live < l).unwrap_or(true) {
+                    best = Some((live, vol));
+                }
+            }
+            best.map(|(_, vol)| vol)
+        };
+        assert_eq!(legacy, Some(1), "test setup: vol1 must be emptiest");
+        assert_eq!(
+            select_victim_volume(&mut hl),
+            legacy,
+            "LowestDensity must reproduce the pre-policy victim choice"
+        );
+        assert!(
+            hl.tio().tracer().policy_decisions() >= 1,
+            "the pick must be traced as a policy decision"
+        );
+    }
+
+    #[test]
+    fn cost_benefit_prefers_cold_half_full_over_hot_empty() {
+        use crate::policy::CostBenefitCleaning;
+        let (mut hl, _clock) = mounted(3, 2);
+        for i in 0..6u32 {
+            migrate_one(&mut hl, &format!("/f{i}"), i);
+        }
+        // vol0 (oldest writes): one of two files dies → half live, cold.
+        // vol2 (newest writes): both die → empty, but hot (age 0).
+        hl.unlink("/f0").expect("unlink");
+        hl.unlink("/f4").expect("unlink");
+        hl.unlink("/f5").expect("unlink");
+        hl.sync().expect("sync");
+
+        assert_eq!(
+            select_victim_volume(&mut hl),
+            Some(2),
+            "greedy chases the just-emptied hot volume"
+        );
+        assert_eq!(
+            select_victim_volume_with(&mut hl, &CostBenefitCleaning),
+            Some(0),
+            "cost-benefit waits for the cold volume whose space endures"
         );
     }
 

@@ -76,6 +76,25 @@ impl Lfs {
     /// Selects the best victim under `policy`; `None` if nothing is
     /// cleanable.
     pub fn select_victim(&self, policy: CleanerPolicy) -> Option<SegNo> {
+        match policy {
+            CleanerPolicy::Greedy => {
+                self.select_victim_scored(|live, _cap, _age| -(live as f64))
+            }
+            CleanerPolicy::CostBenefit => self.select_victim_scored(|live, cap, age| {
+                let util = live as f64 / cap as f64;
+                (1.0 - util) * age as f64 / (1.0 + util)
+            }),
+        }
+    }
+
+    /// Selects the cleanable segment maximizing `score(live_bytes,
+    /// seg_bytes, age)` where `age` is the serial distance since the
+    /// segment was last written. Ties go to the lowest segment number
+    /// (strict `>` comparison). `None` if nothing is cleanable. This is
+    /// the pluggable entry point HighLight's `CleaningPolicy` trait
+    /// drives, so the disk cleaner and the tertiary volume cleaner share
+    /// one scoring vocabulary.
+    pub fn select_victim_scored(&self, score: impl Fn(u64, u64, u64) -> f64) -> Option<SegNo> {
         let mut best: Option<(SegNo, f64)> = None;
         for seg in 0..self.sb.nsegs {
             if seg == self.cur_seg || seg == self.next_seg {
@@ -87,16 +106,10 @@ impl Lfs {
             if !cleanable {
                 continue;
             }
-            let util = u.live_bytes as f64 / self.sb.seg_bytes as f64;
-            let score = match policy {
-                CleanerPolicy::Greedy => -(u.live_bytes as f64),
-                CleanerPolicy::CostBenefit => {
-                    let age = (self.log_serial.saturating_sub(u.write_serial)) as f64;
-                    (1.0 - util) * age / (1.0 + util)
-                }
-            };
-            if best.map(|(_, s)| score > s).unwrap_or(true) {
-                best = Some((seg, score));
+            let age = self.log_serial.saturating_sub(u.write_serial);
+            let s = score(u.live_bytes as u64, self.sb.seg_bytes as u64, age);
+            if best.map(|(_, b)| s > b).unwrap_or(true) {
+                best = Some((seg, s));
             }
         }
         best.map(|(seg, _)| seg)

@@ -317,6 +317,12 @@ impl Lfs {
         self.sb
     }
 
+    /// The current log write serial (monotone per partial-segment write;
+    /// the age clock for cost-benefit victim scoring).
+    pub fn log_serial(&self) -> u64 {
+        self.log_serial
+    }
+
     /// Drops all clean buffers (§7.1: "the buffer cache is flushed before
     /// each operation in the benchmark").
     pub fn drop_caches(&mut self) {

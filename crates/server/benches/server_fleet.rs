@@ -22,6 +22,7 @@ use std::path::Path;
 use hl_server::fleet::{run_fleet, FleetConfig, FleetReport, StormConfig};
 use hl_server::pool::PoolKind;
 use hl_server::shard::ShardSpec;
+use highlight::segcache::EjectPolicy;
 
 const MS: u64 = 1_000;
 
@@ -47,6 +48,7 @@ fn sweep_config(pool: PoolKind, clients: u32) -> FleetConfig {
         open_loop: None,
         storm: None,
         weights: Vec::new(),
+        eject: EjectPolicy::Lru,
     }
 }
 
@@ -72,6 +74,7 @@ fn fairness_config(tenants: u32, clients: u32) -> FleetConfig {
         open_loop: None,
         storm: None,
         weights: Vec::new(),
+        eject: EjectPolicy::Lru,
     }
 }
 

@@ -23,7 +23,7 @@ use hl_sim::time::MS;
 use hl_sim::{Actor, ActorId, Scheduler, SimTime, Step, Waker};
 use hl_workload::{TenantMix, ZipfStore};
 use highlight::requests::Ticket;
-use highlight::segcache::LineState;
+use highlight::segcache::{EjectPolicy, LineState};
 use highlight::TenantId;
 
 use crate::connection::Connection;
@@ -82,6 +82,9 @@ pub struct FleetConfig {
     pub storm: Option<StormConfig>,
     /// Fair-queue weight overrides, applied to every shard.
     pub weights: Vec<(TenantId, u32)>,
+    /// Segment-cache ejection policy on every shard (the policy
+    /// ablation varies it; [`EjectPolicy::Lru`] is the paper baseline).
+    pub eject: EjectPolicy,
 }
 
 impl FleetConfig {
@@ -107,6 +110,7 @@ impl FleetConfig {
             open_loop: None,
             storm: None,
             weights: Vec::new(),
+            eject: EjectPolicy::Lru,
         }
     }
 }
@@ -547,7 +551,8 @@ fn summarize(mut lats: Vec<u64>) -> TenantLat {
 /// Runs one fleet experiment to quiescence and reports what happened.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     let mut sched: Scheduler<FleetWorld> = Scheduler::new();
-    let engine = ShardedEngine::build(cfg.seed, cfg.shards, cfg.spec, &mut sched);
+    let engine =
+        ShardedEngine::build_with_eject(cfg.seed, cfg.shards, cfg.spec, &mut sched, cfg.eject);
     let objects = engine.objects();
     for &(tenant, weight) in &cfg.weights {
         for s in &engine.shards {

@@ -91,6 +91,19 @@ impl ShardedEngine {
         spec: ShardSpec,
         sched: &mut Scheduler<W>,
     ) -> ShardedEngine {
+        ShardedEngine::build_with_eject(seed, shards, spec, sched, EjectPolicy::Lru)
+    }
+
+    /// [`ShardedEngine::build`] with an explicit cache-ejection policy
+    /// per shard (the policy ablation harness varies it; everything else
+    /// about the shard geometry stays identical).
+    pub fn build_with_eject<W: 'static>(
+        seed: u64,
+        shards: usize,
+        spec: ShardSpec,
+        sched: &mut Scheduler<W>,
+        eject: EjectPolicy,
+    ) -> ShardedEngine {
         assert!(shards > 0, "at least one shard");
         let mut built = Vec::new();
         for s in 0..shards {
@@ -122,7 +135,7 @@ impl ShardedEngine {
             }
             let cache = Rc::new(RefCell::new(SegCache::new(
                 (0..spec.cache_lines).collect::<Vec<SegNo>>(),
-                EjectPolicy::Lru,
+                eject,
             )));
             let tseg = Rc::new(RefCell::new(TsegTable::new()));
             let tio = Rc::new(TertiaryIo::new(

@@ -500,6 +500,9 @@ struct Recorder {
     tenant_admits: u64,
     /// [`EventKind::TenantThrottle`] events emitted.
     tenant_throttles: u64,
+    /// `policy`-prefixed [`EventKind::Mark`] events emitted (see
+    /// [`Tracer::policy_decision`]).
+    policy_decisions: u64,
     /// Currently open spans (deterministic order for snapshots).
     open_spans: BTreeMap<u64, Class>,
     /// Spans that were already open at the last [`Recorder::reset`]:
@@ -527,6 +530,7 @@ impl Recorder {
             redispatches: 0,
             tenant_admits: 0,
             tenant_throttles: 0,
+            policy_decisions: 0,
             open_spans: BTreeMap::new(),
             baseline_open: Vec::new(),
         }
@@ -565,6 +569,7 @@ impl Recorder {
         self.redispatches = 0;
         self.tenant_admits = 0;
         self.tenant_throttles = 0;
+        self.policy_decisions = 0;
         self.baseline_open = self.open_spans.iter().map(|(&s, &c)| (s, c)).collect();
     }
 }
@@ -729,6 +734,23 @@ impl Tracer {
         );
     }
 
+    /// Records a migration/cleaning policy decision as a structured
+    /// `policy <name>: <detail>` mark. Keeping the payload inside a
+    /// [`EventKind::Mark`] means the golden-trace format, tracecheck
+    /// grammar, and digests are untouched — policy-annotated runs stay
+    /// byte-comparable with un-annotated ones event-kind-wise, while the
+    /// prefix makes decisions greppable and countable.
+    pub fn policy_decision(&self, at: TraceTime, policy: &str, detail: &str) {
+        let mut r = self.rec.borrow_mut();
+        r.policy_decisions += 1;
+        r.emit(
+            at,
+            EventKind::Mark {
+                label: format!("policy {policy}: {detail}"),
+            },
+        );
+    }
+
     /// Records an I/O-server lane going down.
     pub fn drive_down(&self, at: TraceTime, drive: u32) {
         let mut r = self.rec.borrow_mut();
@@ -856,6 +878,11 @@ impl Tracer {
     /// [`EventKind::TenantThrottle`] events recorded.
     pub fn tenant_throttles(&self) -> u64 {
         self.rec.borrow().tenant_throttles
+    }
+
+    /// [`Tracer::policy_decision`] marks recorded.
+    pub fn policy_decisions(&self) -> u64 {
+        self.rec.borrow().policy_decisions
     }
 
     /// Currently open spans, in id order.

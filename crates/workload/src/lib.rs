@@ -10,6 +10,8 @@
 //! - [`zipf`]: seeded Zipfian popularity and the flash-crowd object
 //!   store (adversarial suite, ROADMAP item 5);
 //! - [`scan`]: whole-hierarchy backup/restore streaming scans;
+//! - [`ops`]: replayable file-operation streams with input-trace digests
+//!   for the policy ablation harness (ROADMAP item 3);
 //! - [`tenants`]: mixed reader/writer tenants with conflicting working
 //!   sets larger than the segment cache.
 //!
@@ -17,6 +19,7 @@
 //! `random()` with time-of-day + pid; reproducibility wins here).
 
 pub mod large_object;
+pub mod ops;
 pub mod scan;
 pub mod sequoia;
 pub mod tenants;
@@ -24,6 +27,7 @@ pub mod trees;
 pub mod zipf;
 
 pub use large_object::{LargeObject, Phase};
+pub use ops::{Op, OpStream};
 pub use scan::{HierarchyScan, ScanDirection, ScanStep};
 pub use tenants::{Tenant, TenantKind, TenantMix, ARRIVAL_STAGGER};
 pub use zipf::{FlashCrowd, ZipfStore, Zipfian};

@@ -8,6 +8,7 @@
 
 use std::rc::Rc;
 
+use highlight::migrator::Migrator;
 use highlight::{HighLight, HlConfig};
 use hl_footprint::{Jukebox, JukeboxConfig};
 use hl_sim::Clock;
@@ -145,4 +146,92 @@ fn scripted_run_matches_the_pinned_trace() {
     for (tag, n) in [("\"ev\":\"span_open\"", 3), ("\"ev\":\"dev_io\"", 4)] {
         assert_eq!(json.matches(tag).count(), n, "{tag} count drifted");
     }
+}
+
+// ---------------------------------------------------------------------
+// A migration pass through the `Migrator` daemon, annotated by its
+// policy (DESIGN.md §6i): the `PolicyDecision` mark — what the policy
+// chose and how much — is part of the pinned stream. If a policy's
+// selection (or the mark's rendering) changes, this drifts and forces a
+// conscious re-pin.
+// ---------------------------------------------------------------------
+
+/// Scripted migrator pass: an old cold file and a young hot file; the
+/// STP policy must take the cold one first, and the byte target spills
+/// into the hot one.
+fn scripted_migrator_pass() -> (Vec<String>, u64, u64, usize) {
+    let clock = Clock::new();
+    let disk = Rc::new(Disk::new(DiskProfile::RZ57, 2 + 16 * 256 + 5, None));
+    let jukebox = Jukebox::new(
+        JukeboxConfig {
+            volumes: 2,
+            segments_per_volume: 4,
+            ..JukeboxConfig::hp6300_paper()
+        },
+        None,
+    );
+    let cfg = HlConfig::paper(clock.clone(), 4);
+    HighLight::mkfs(
+        disk.clone() as Rc<dyn BlockDev>,
+        Rc::new(jukebox.clone()),
+        cfg.clone(),
+    )
+    .expect("mkfs");
+    let mut hl =
+        HighLight::mount(disk.clone() as Rc<dyn BlockDev>, Rc::new(jukebox), cfg).expect("mount");
+
+    let old: Vec<u8> = (0..40_000).map(|i| (i % 251) as u8).collect();
+    let ino = hl.create("/cold").expect("create");
+    hl.write(ino, 0, &old).expect("write");
+    clock.advance_by(hl_sim::time::secs(900.0));
+    let hot = hl.create("/hot").expect("create");
+    hl.write(hot, 0, &old[..8000]).expect("write");
+    hl.sync().expect("sync");
+
+    let mut mig = Migrator::stp();
+    let stats = mig.migrate_bytes(&mut hl, 50_000).expect("migrate");
+    assert_eq!(
+        (stats.blocks, stats.inodes, stats.segments_sealed),
+        (12, 2, 1),
+        "the scripted pass moves both files into one sealed segment"
+    );
+
+    let findings = hl.tio().trace_findings();
+    let tr = hl.tio().tracer();
+    let marks: Vec<String> = tr
+        .render_text()
+        .into_iter()
+        .filter(|l| l.contains("mark policy"))
+        .collect();
+    (
+        marks,
+        hl.tio().trace_digest(),
+        tr.policy_decisions(),
+        findings.len(),
+    )
+}
+
+/// The pinned policy-decision annotation: one mark, naming the policy
+/// and its selection (2 batches — one per file — totalling 14 items:
+/// 10 + 2 data blocks plus 2 inodes).
+const GOLDEN_POLICY_MARKS: &str = "\
+#000000 t900563962 mark policy space-time product: select batches 2 items 14";
+
+const GOLDEN_MIGRATOR_DIGEST: u64 = 0xe437_ce2f_61ae_95ae;
+
+#[test]
+fn migrator_pass_matches_the_pinned_policy_decision() {
+    let (marks, digest, decisions, findings) = scripted_migrator_pass();
+    assert_eq!(findings, 0, "tracecheck findings");
+    assert_eq!(decisions, 1, "exactly one policy decision in the pass");
+    let got = marks.join("\n");
+    assert_eq!(
+        got, GOLDEN_POLICY_MARKS,
+        "\npolicy-decision annotation drifted; got:\n{got}\n"
+    );
+    assert_eq!(
+        digest, GOLDEN_MIGRATOR_DIGEST,
+        "digest drifted (got {digest:016x}); the migration event stream \
+         changed even if the marks did not"
+    );
 }

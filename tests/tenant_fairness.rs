@@ -16,6 +16,7 @@
 use hl_server::fleet::{run_fleet, FleetConfig, StormConfig};
 use hl_server::pool::PoolKind;
 use hl_server::shard::ShardSpec;
+use highlight::segcache::EjectPolicy;
 use proptest::prelude::*;
 
 const MS: u64 = 1_000;
@@ -40,6 +41,7 @@ fn fairness_config(tenants: u32, clients: u32) -> FleetConfig {
         open_loop: None,
         storm: None,
         weights: Vec::new(),
+        eject: EjectPolicy::Lru,
     }
 }
 
@@ -124,6 +126,7 @@ proptest! {
             open_loop: (storm_pick == 1).then_some(400 * MS),
             storm,
             weights: vec![(0, weight)],
+            eject: EjectPolicy::Lru,
         };
         let r = run_fleet(&cfg);
         prop_assert_eq!(r.completed, (clients * rpc) as u64, "every request answered");
