@@ -344,4 +344,51 @@ print("BENCH_policies.json OK:",
       "beats-baseline:", beats)
 EOF
 
+# Hot-path micro gate (DESIGN.md §6j, ROADMAP item 4): the raw-speed
+# pass's four before/after pairs (Bloom-guarded residency, slab
+# tickets, open-addressed directory, zero-copy staging), the <= 55 ns
+# single-block route budget (scaled by a same-process host-speed anchor
+# on slow shared hosts), and the trace-derived resident-hit contract —
+# a demand hit on a cached segment performs zero tertiary
+# replica-directory probes. Any "false" in the "Hot-path checks" block
+# fails the gate. BENCH_micro.json must exist and parse with all four
+# pairs.
+echo "==> hot-path micro gate (route ns + 4 opt pairs + zero-probe resident hits)"
+mc=$(cargo bench -q -p hl-bench --bench micro 2>&1)
+echo "$mc" | grep -A 8 "Hot-path checks"
+if echo "$mc" | grep -A 8 "Hot-path checks" | grep -q "false"; then
+  echo "FAIL: hot-path micro check regressed"
+  exit 1
+fi
+if [ ! -f BENCH_micro.json ]; then
+  echo "FAIL: BENCH_micro.json was not produced"
+  exit 1
+fi
+python3 - <<'EOF'
+import json
+with open("BENCH_micro.json") as f:
+    data = json.load(f)
+m = data["micro"]
+route = m["route"]
+assert route["mean_ns"] <= route["gate_ns"] * route["host_scale"], (
+    f"route {route['mean_ns']} ns blew the {route['gate_ns']} ns budget "
+    f"(host x{route['host_scale']})")
+assert route["mean_ns"] < m["seed_baseline_ns"]["route_peek_1_block"], (
+    "route is no faster than the seed baseline")
+pairs = m["pairs"]
+assert set(pairs) == {"residency_probe", "ticket_alloc", "dir_lookup",
+                      "staging_copy"}, sorted(pairs)
+for name, p in pairs.items():
+    for key in ("before_ns", "after_ns", "speedup"):
+        assert key in p, f"{name}: missing {key}"
+    assert p["after_ns"] <= p["before_ns"] * 1.25, (
+        f"{name}: optimized path regressed past noise: {p}")
+rh = m["resident_hit"]
+assert rh["resident_probes"] == 0, "resident demand hit probed the replica dir"
+assert rh["cold_probes"] >= 1, "replica-probe trace counter is dead"
+assert rh["bloom_skips"] >= 1, "bloom guard never engaged"
+print("BENCH_micro.json OK:", {"route_ns": route["mean_ns"]},
+      {n: pairs[n]["speedup"] for n in sorted(pairs)})
+EOF
+
 echo "CI OK"

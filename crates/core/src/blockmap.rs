@@ -75,45 +75,77 @@ impl RunBuf {
 }
 
 /// The block-map device the HighLight LFS mounts on.
+///
+/// Routing is fully inlined (DESIGN.md §6j): the boot area and the
+/// secondary segments form one contiguous low region `[0, disk_limit)`
+/// and the tertiary segments one contiguous high region
+/// `[tert_base_blk, tert_end_blk)`, so the map's per-call derivation
+/// chain (`seg_of` → `is_secondary`/`is_tertiary` → `tertiary_base` →
+/// `total_segs`, several 64-bit divisions deep) collapses to two
+/// precomputed range compares — plus one shift (or division) to name
+/// the tertiary segment when the high region is hit.
 pub struct BlockMapDev {
     disks: Rc<dyn BlockDev>,
     map: UniformMap,
     tio: Rc<TertiaryIo>,
     cache: Rc<RefCell<SegCache>>,
+    /// First block past the secondary region: `[0, disk_limit)` routes
+    /// straight to the disks.
+    disk_limit: u64,
+    /// First tertiary block (`seg_base(tertiary_base)`).
+    tert_base_blk: u64,
+    /// One past the last tertiary block (`seg_base(total_segs)`; the
+    /// discarded top partial segment and `0xffff_ffff` lie above it).
+    tert_end_blk: u64,
+    /// `map.seg_start`, widened once.
+    seg_start: u64,
+    /// `map.blocks_per_seg`, widened once.
+    bps: u64,
+    /// `log2(blocks_per_seg)` when it is a power of two (it always is
+    /// in practice): block→segment becomes a shift, not a division.
+    bps_shift: Option<u32>,
 }
 
 impl BlockMapDev {
     /// Stacks the driver over the disks and the tertiary engine.
     pub fn new(disks: Rc<dyn BlockDev>, map: UniformMap, tio: Rc<TertiaryIo>) -> BlockMapDev {
+        let seg_start = map.seg_start as u64;
+        let bps = map.blocks_per_seg as u64;
         BlockMapDev {
             cache: tio.cache(),
             disks,
-            map,
             tio,
+            disk_limit: seg_start + map.nsegs_disk as u64 * bps,
+            tert_base_blk: seg_start + map.tertiary_base() as u64 * bps,
+            tert_end_blk: seg_start + map.total_segs() as u64 * bps,
+            seg_start,
+            bps,
+            bps_shift: bps.is_power_of_two().then(|| bps.trailing_zeros()),
+            map,
         }
     }
 
+    #[inline]
     fn route(&self, block: u64) -> Result<Route, DevError> {
-        if block < self.map.seg_start as u64 {
-            return Ok(Route::Disk); // boot area
+        if block < self.disk_limit {
+            return Ok(Route::Disk); // boot area or secondary segment
         }
-        if block > u32::MAX as u64 {
-            return Err(DevError::OutOfRange {
-                block,
-                count: 1,
-                capacity: 1 << 32,
-            });
+        if block >= self.tert_base_blk && block < self.tert_end_blk {
+            let off = block - self.seg_start;
+            let seg = match self.bps_shift {
+                Some(sh) => (off >> sh) as SegNo,
+                None => (off / self.bps) as SegNo,
+            };
+            return Ok(Route::Tertiary(seg));
         }
-        match self.map.seg_of(block as u32) {
-            Some(seg) if self.map.is_secondary(seg) => Ok(Route::Disk),
-            Some(seg) => Ok(Route::Tertiary(seg)),
-            // "Attempts to access these blocks results in an error."
-            None => Err(DevError::OutOfRange {
-                block,
-                count: 1,
-                capacity: 1 << 32,
-            }),
-        }
+        // "Attempts to access these blocks results in an error." — the
+        // dead zone, the discarded top partial segment, and everything
+        // past the 32-bit space.
+        Err(DevError::OutOfRange {
+            block,
+            count: 1,
+            capacity: 1 << 32,
+        })
     }
 
     /// Splits `[block, block+count)` into maximal same-route runs.
@@ -196,6 +228,12 @@ impl BlockDev for BlockMapDev {
     }
 
     fn read(&self, at: SimTime, block: u64, buf: &mut [u8]) -> Result<IoSlot, DevError> {
+        // Fast path: a request starting in the low disk region is always
+        // a single Disk run (`runs()` never splits it), so skip the run
+        // buffer entirely — this is every resident-file I/O.
+        if block < self.disk_limit {
+            return self.disks.read(at, block, buf);
+        }
         let count = (buf.len() / BLOCK_SIZE) as u64;
         let mut t = at;
         let start = at;
@@ -218,6 +256,9 @@ impl BlockDev for BlockMapDev {
     }
 
     fn write(&self, at: SimTime, block: u64, buf: &[u8]) -> Result<IoSlot, DevError> {
+        if block < self.disk_limit {
+            return self.disks.write(at, block, buf);
+        }
         let count = (buf.len() / BLOCK_SIZE) as u64;
         let mut t = at;
         let start = at;
@@ -240,6 +281,9 @@ impl BlockDev for BlockMapDev {
     }
 
     fn peek(&self, block: u64, buf: &mut [u8]) -> Result<(), DevError> {
+        if block < self.disk_limit {
+            return self.disks.peek(block, buf);
+        }
         let count = (buf.len() / BLOCK_SIZE) as u64;
         for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
@@ -271,6 +315,9 @@ impl BlockDev for BlockMapDev {
     }
 
     fn poke(&self, block: u64, buf: &[u8]) -> Result<(), DevError> {
+        if block < self.disk_limit {
+            return self.disks.poke(block, buf);
+        }
         let count = (buf.len() / BLOCK_SIZE) as u64;
         for &(route, b, n) in self.runs(block, count)?.iter() {
             let lo = ((b - block) * BLOCK_SIZE as u64) as usize;
@@ -448,6 +495,55 @@ mod tests {
             b += rn;
         }
         assert_eq!(b, base + span);
+    }
+
+    #[test]
+    fn inlined_route_agrees_with_the_address_map_everywhere() {
+        let (dev, _, _, map, _) = rig();
+        // Reference implementation: the pre-inlining derivation chain.
+        let reference = |block: u64| -> Option<Route> {
+            if block < map.seg_start as u64 {
+                return Some(Route::Disk);
+            }
+            if block > u32::MAX as u64 {
+                return None;
+            }
+            match map.seg_of(block as u32) {
+                Some(seg) if map.is_secondary(seg) => Some(Route::Disk),
+                Some(seg) => Some(Route::Tertiary(seg)),
+                None => None,
+            }
+        };
+        let tb = map.tertiary_base();
+        let probes: Vec<u64> = vec![
+            0,
+            1,
+            map.seg_start as u64,                        // first secondary block
+            map.seg_base(63) as u64 + 255,               // last secondary block
+            map.seg_base(64) as u64,                     // dead zone start
+            map.seg_base(tb) as u64 - 1,                 // dead zone end
+            map.seg_base(tb) as u64,                     // first tertiary block
+            map.seg_base(map.total_segs() - 1) as u64 + 255, // last tertiary block
+            map.seg_base(map.total_segs() - 1) as u64 + 256, // top partial segment
+            u32::MAX as u64,
+            1 << 32,
+            u64::MAX,
+        ];
+        for b in probes {
+            assert_eq!(dev.route(b).ok(), reference(b), "route({b:#x}) diverged");
+        }
+        // And a dense sweep across each boundary.
+        for base in [
+            map.seg_start as u64,
+            dev.disk_limit,
+            dev.tert_base_blk,
+            dev.tert_end_blk,
+        ] {
+            for d in -2i64..=2 {
+                let b = base.wrapping_add_signed(d);
+                assert_eq!(dev.route(b).ok(), reference(b), "route({b:#x}) diverged");
+            }
+        }
     }
 
     #[test]

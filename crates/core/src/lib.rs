@@ -32,6 +32,7 @@
 
 pub mod addr;
 pub mod blockmap;
+pub mod bloom;
 pub mod fault;
 pub mod fs;
 pub mod hlfsck;
@@ -43,12 +44,14 @@ pub mod recovery;
 pub mod replicas;
 pub mod requests;
 pub mod segcache;
+pub mod segdir;
 pub mod service;
 pub mod stack;
 pub mod tcleaner;
 pub mod tsegfile;
 
 pub use addr::UniformMap;
+pub use bloom::Bloom;
 pub use fault::{FaultEvent, FaultLog, FaultStep, HlError, RecoveryAction};
 pub use fs::{CopyOutMode, HighLight, HlConfig, MigrateStats, RearrangeMode};
 pub use hlfsck::{HlFinding, HlfsckReport};
@@ -59,11 +62,12 @@ pub use migrator::{
 pub use policy::{CleanCandidate, CleaningPolicy, CostBenefitCleaning, LowestDensity};
 pub use prefetch::PrefetchPolicy;
 pub use recovery::{RecoveryPolicy, RecoveryState, WatchdogConfig};
-pub use replicas::ReplicaSet;
+pub use replicas::{HomeVec, InlineHomes, ReplicaSet};
 pub use requests::{
-    FetchMode, Outcome, ReqClass, TenantId, Ticket, AFFINITY_BOUND, DISPATCH_CPU, QOS_HEADROOM,
-    TENANT_BOUND,
+    ticket_slab_stats, FetchMode, Outcome, ReqClass, TenantId, Ticket, TicketSlabStats,
+    AFFINITY_BOUND, DISPATCH_CPU, QOS_HEADROOM, TENANT_BOUND,
 };
 pub use segcache::{EjectPolicy, SegCache};
+pub use segdir::SegDir;
 pub use service::{EngineSession, ScrubReport, StallEvent, SvcStats, TertiaryIo, MAX_DRIVES};
 pub use tsegfile::TsegTable;

@@ -323,6 +323,18 @@ pub struct NamespacePolicy {
     pub active_window: SimTime,
     /// Migrate metadata with the unit.
     pub migrate_inodes: bool,
+    /// Unit-path interner: a stable integer id per unit, assigned in
+    /// first-seen order and kept across passes. Grouping then works on
+    /// ids (one `Vec` index per file) instead of hashing and cloning
+    /// the unit `String` per candidate per pass — and score ties break
+    /// on first-seen order rather than `HashMap` iteration order, so
+    /// selection is deterministic across processes.
+    unit_ids: HashMap<String, u32>,
+    /// Interned unit paths, indexed by id.
+    unit_names: Vec<String>,
+    /// Reusable per-pass grouping scratch, indexed by unit id; holds
+    /// candidate indices. Cleared (not freed) every pass.
+    groups: Vec<Vec<usize>>,
 }
 
 impl NamespacePolicy {
@@ -333,6 +345,22 @@ impl NamespacePolicy {
             dormant_fraction: 0.1,
             active_window: hl_sim::time::secs(3600.0),
             migrate_inodes: true,
+            unit_ids: HashMap::new(),
+            unit_names: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// The interned id for `unit`, assigning the next one on first use.
+    fn intern_unit(&mut self, unit: &str) -> u32 {
+        match self.unit_ids.get(unit) {
+            Some(&id) => id,
+            None => {
+                let id = self.unit_names.len() as u32;
+                self.unit_ids.insert(unit.to_string(), id);
+                self.unit_names.push(unit.to_string());
+                id
+            }
         }
     }
 }
@@ -346,27 +374,44 @@ impl MigrationPolicy for NamespacePolicy {
         target_bytes: u64,
     ) -> Result<Vec<(Vec<MigrateItem>, Option<u32>)>> {
         let cands = survey(fs, &self.root)?;
-        // Group into units.
-        let mut units: HashMap<String, Vec<&Candidate>> = HashMap::new();
-        for c in &cands {
-            units.entry(c.unit.clone()).or_default().push(c);
+        // Group into units on interned integer ids, reusing the
+        // per-pass scratch lists (no per-candidate String hash/clone).
+        for g in &mut self.groups {
+            g.clear();
         }
-        // Score each unit.
-        let mut scored: Vec<(f64, String)> = Vec::new();
-        for (unit, files) in &units {
-            let total: u64 = files.iter().map(|c| c.size).sum();
+        let mut touched: Vec<u32> = Vec::new(); // ids seen this pass, first-seen order
+        for (ci, c) in cands.iter().enumerate() {
+            let id = self.intern_unit(&c.unit);
+            if self.groups.len() <= id as usize {
+                self.groups.resize_with(id as usize + 1, Vec::new);
+            }
+            let g = &mut self.groups[id as usize];
+            if g.is_empty() {
+                touched.push(id);
+            }
+            g.push(ci);
+        }
+        // Score each unit, in first-seen id order — score ties therefore
+        // break deterministically (the stable sort below keeps this
+        // order), where the old `HashMap<String, _>` grouping broke them
+        // on hash-iteration order.
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for &id in &touched {
+            let files = &self.groups[id as usize];
+            let total: u64 = files.iter().map(|&i| cands[i].size).sum();
             if total == 0 {
                 continue;
             }
             let active: u64 = files
                 .iter()
+                .map(|&i| &cands[i])
                 .filter(|c| now.saturating_sub(c.atime.max(c.mtime)) < self.active_window)
                 .map(|c| c.size)
                 .sum();
             let mostly_dormant = (active as f64) <= self.dormant_fraction * total as f64;
             // Unstable (recently *modified*) units should not migrate
             // unless dormant-dominated (§5.3).
-            let newest_mtime = files.iter().map(|c| c.mtime).max().unwrap_or(0);
+            let newest_mtime = files.iter().map(|&i| cands[i].mtime).max().unwrap_or(0);
             if now.saturating_sub(newest_mtime) < self.active_window && !mostly_dormant {
                 continue;
             }
@@ -375,6 +420,7 @@ impl MigrationPolicy for NamespacePolicy {
                 // dormant age (min over the dormant files).
                 files
                     .iter()
+                    .map(|&i| &cands[i])
                     .filter(|c| now.saturating_sub(c.atime.max(c.mtime)) >= self.active_window)
                     .map(|c| now.saturating_sub(c.atime.max(c.mtime)))
                     .min()
@@ -382,11 +428,12 @@ impl MigrationPolicy for NamespacePolicy {
             } else {
                 files
                     .iter()
+                    .map(|&i| &cands[i])
                     .map(|c| now.saturating_sub(c.atime.max(c.mtime)))
                     .min()
                     .unwrap_or(0)
             };
-            scored.push((total as f64 * (age as f64 + 1.0), unit.clone()));
+            scored.push((total as f64 * (age as f64 + 1.0), id));
         }
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
 
@@ -395,12 +442,13 @@ impl MigrationPolicy for NamespacePolicy {
         // then be clustered").
         let mut out = Vec::new();
         let mut bytes = 0u64;
-        for (uid, (_, unit)) in scored.iter().enumerate() {
+        for (uid, &(_, id)) in scored.iter().enumerate() {
             if bytes >= target_bytes {
                 break;
             }
             let mut items = Vec::new();
-            let mut files: Vec<&&Candidate> = units[unit].iter().collect();
+            let mut files: Vec<&Candidate> =
+                self.groups[id as usize].iter().map(|&i| &cands[i]).collect();
             files.sort_by(|a, b| a.path.cmp(&b.path));
             for c in files {
                 items.extend(fs.whole_file_items(c.ino, self.migrate_inodes)?);

@@ -19,6 +19,8 @@
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::marker::PhantomData;
 use std::rc::Rc;
 
 use hl_footprint::VolumeId;
@@ -154,33 +156,191 @@ pub enum Outcome {
     Scrub(Box<ScrubReport>),
 }
 
+/// One completion cell in the thread-local [`TicketSlab`].
+struct TicketSlot {
+    /// Incremented every time the slot is recycled; a handle whose
+    /// generation disagrees is stale and panics deterministically.
+    gen: u32,
+    /// Live [`Ticket`] handles pointing at this slot.
+    refs: u32,
+    /// The posted outcome, if any.
+    outcome: Option<Outcome>,
+}
+
+/// Free-list slab backing every [`Ticket`] on this thread. Tickets are
+/// the engine's highest-churn allocation — one per request, cloned into
+/// the coalescing directory and each device op — so the slab recycles
+/// slots instead of round-tripping `Rc<RefCell<…>>` through the heap
+/// per request (DESIGN.md §6j).
+#[derive(Default)]
+struct TicketSlab {
+    slots: Vec<TicketSlot>,
+    free: Vec<u32>,
+    /// Tickets ever created (fresh + recycled).
+    allocs: u64,
+    /// Creations served from the free list (no heap growth).
+    recycles: u64,
+}
+
+thread_local! {
+    // `const` initialization keeps every slab access on the fast TLS
+    // path (no lazy-init check per touch) — the ticket lifecycle hits
+    // the slab ~6 times, so the check would dominate the win.
+    static TICKET_SLAB: RefCell<TicketSlab> = const {
+        RefCell::new(TicketSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            allocs: 0,
+            recycles: 0,
+        })
+    };
+}
+
+/// Point-in-time counters of the calling thread's ticket slab, for
+/// benches and the recycling property suite.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TicketSlabStats {
+    /// Tickets ever created on this thread.
+    pub allocs: u64,
+    /// Creations served by recycling a freed slot.
+    pub recycles: u64,
+    /// Slots with live handles right now.
+    pub live: usize,
+    /// Total slots ever materialized (high-water mark of concurrency).
+    pub slots: usize,
+}
+
+/// Snapshot of the calling thread's ticket-slab counters.
+pub fn ticket_slab_stats() -> TicketSlabStats {
+    TICKET_SLAB.with(|s| {
+        let s = s.borrow();
+        TicketSlabStats {
+            allocs: s.allocs,
+            recycles: s.recycles,
+            live: s.slots.len() - s.free.len(),
+            slots: s.slots.len(),
+        }
+    })
+}
+
+/// Out-of-line stale-handle panic: keeps the generation check on the
+/// hot path down to a compare-and-branch (the formatting machinery
+/// would otherwise bloat every `with_slot` call site).
+#[cold]
+#[inline(never)]
+fn stale_ticket(idx: u32, slot_gen: u32, handle_gen: u32) -> ! {
+    panic!(
+        "stale ticket handle: slot {idx} was recycled to generation {slot_gen} but the handle \
+         holds generation {handle_gen}"
+    );
+}
+
 /// A cloneable one-shot completion cell. All coalesced observers of one
 /// fetch share a single ticket, so they necessarily agree on `ready_at`.
-#[derive(Clone, Debug, Default)]
+///
+/// Handles are `(slot, generation)` pairs into a thread-local slab
+/// (`TicketSlab`): creating a ticket pops a recycled slot from a free
+/// list (no heap allocation in steady state), and the last handle's drop
+/// advances the slot's generation before returning it. A stale handle —
+/// one that outlived its slot's recycling — therefore observes a
+/// generation mismatch and **panics deterministically** instead of
+/// silently reading another request's outcome.
 pub struct Ticket {
-    cell: Rc<RefCell<Option<Outcome>>>,
+    idx: u32,
+    gen: u32,
+    /// The slab is thread-local, so handles must not cross threads:
+    /// keeps `Ticket: !Send + !Sync`, exactly like the `Rc`-backed cell
+    /// it replaced.
+    _pinned: PhantomData<Rc<()>>,
 }
 
 impl Ticket {
     /// A fresh, unresolved ticket.
     pub fn new() -> Ticket {
-        Ticket::default()
+        TICKET_SLAB.with(|slab| {
+            let mut slab = slab.borrow_mut();
+            slab.allocs += 1;
+            let idx = match slab.free.pop() {
+                Some(i) => {
+                    slab.recycles += 1;
+                    let slot = &mut slab.slots[i as usize];
+                    debug_assert_eq!(slot.refs, 0, "free-listed slot had live handles");
+                    slot.refs = 1;
+                    slot.outcome = None;
+                    i
+                }
+                None => {
+                    slab.slots.push(TicketSlot {
+                        gen: 0,
+                        refs: 1,
+                        outcome: None,
+                    });
+                    (slab.slots.len() - 1) as u32
+                }
+            };
+            Ticket {
+                idx,
+                gen: slab.slots[idx as usize].gen,
+                _pinned: PhantomData,
+            }
+        })
+    }
+
+    /// Runs `f` on this handle's slot, panicking if the handle is stale.
+    ///
+    /// `f` must not create, clone, or drop tickets (the slab is borrowed)
+    /// — [`Outcome`] is plain data, so cloning one in here is safe.
+    #[inline]
+    fn with_slot<R>(&self, f: impl FnOnce(&mut TicketSlot) -> R) -> R {
+        TICKET_SLAB.with(|slab| {
+            let mut slab = slab.borrow_mut();
+            let slot = &mut slab.slots[self.idx as usize];
+            if slot.gen != self.gen {
+                stale_ticket(self.idx, slot.gen, self.gen);
+            }
+            f(slot)
+        })
+    }
+
+    /// Recycles this handle's slot out from under it, so the *next*
+    /// access through any surviving handle hits the generation check.
+    /// Test hook for the stale-handle property — the engine itself can
+    /// only reach this state through a bug.
+    #[doc(hidden)]
+    pub fn invalidate_for_test(&self) {
+        TICKET_SLAB.with(|slab| {
+            let mut slab = slab.borrow_mut();
+            let slot = &mut slab.slots[self.idx as usize];
+            slot.gen = slot.gen.wrapping_add(1);
+            slot.refs = 0;
+            slot.outcome = None;
+            slab.free.push(self.idx);
+        });
+    }
+
+    /// [`Ticket::complete`] for out-of-crate tests (the property suite
+    /// drives completion without an engine).
+    #[doc(hidden)]
+    pub fn complete_for_test(&self, outcome: Outcome) {
+        self.complete(outcome);
     }
 
     /// Resolves the ticket. Completing twice is a bug in the engine.
     pub(crate) fn complete(&self, outcome: Outcome) {
-        let prev = self.cell.borrow_mut().replace(outcome);
-        debug_assert!(prev.is_none(), "ticket completed twice");
+        self.with_slot(|slot| {
+            let prev = slot.outcome.replace(outcome);
+            debug_assert!(prev.is_none(), "ticket completed twice");
+        });
     }
 
     /// `true` once an outcome has been posted.
     pub fn is_done(&self) -> bool {
-        self.cell.borrow().is_some()
+        self.with_slot(|slot| slot.outcome.is_some())
     }
 
     /// The posted outcome, if any.
     pub fn outcome(&self) -> Option<Outcome> {
-        self.cell.borrow().clone()
+        self.with_slot(|slot| slot.outcome.clone())
     }
 
     /// Reads a fetch outcome.
@@ -218,6 +378,56 @@ impl Ticket {
             Some(Outcome::Scrub(r)) => *r,
             other => panic!("expected a scrub outcome, found {other:?}"),
         }
+    }
+}
+
+impl Clone for Ticket {
+    fn clone(&self) -> Ticket {
+        self.with_slot(|slot| slot.refs += 1);
+        Ticket {
+            idx: self.idx,
+            gen: self.gen,
+            _pinned: PhantomData,
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // `try_with`: a handle may legally outlive the slab during
+        // thread teardown (TLS destructor ordering) — nothing to
+        // recycle then.
+        let _ = TICKET_SLAB.try_with(|slab| {
+            let mut slab = slab.borrow_mut();
+            let slot = &mut slab.slots[self.idx as usize];
+            if slot.gen != self.gen {
+                // Slot already recycled out from under us (the
+                // `invalidate_for_test` hook): dropping a stale handle
+                // must stay silent, or the panic-path tests would abort
+                // in drop glue.
+                return;
+            }
+            slot.refs -= 1;
+            if slot.refs == 0 {
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.outcome = None;
+                slab.free.push(self.idx);
+            }
+        });
+    }
+}
+
+impl Default for Ticket {
+    fn default() -> Ticket {
+        Ticket::new()
+    }
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Deliberately does not touch the slab: `Debug` must stay
+        // usable from panic messages, including the stale-handle panic.
+        write!(f, "Ticket#{}g{}", self.idx, self.gen)
     }
 }
 
@@ -310,8 +520,17 @@ const TRANSCRIPT_CAP: usize = 8192;
 /// The two queues plus the coalescing directory, owned by the engine.
 pub(crate) struct EngineQueues {
     /// Priority request queue: keyed `(class, seq)` so iteration order is
-    /// priority-major, FIFO-minor, independent of hash state.
-    reqq: BTreeMap<(u8, u64), Request>,
+    /// priority-major, FIFO-minor, independent of hash state. Values are
+    /// slots in [`Self::req_pool`] — the tree nodes stay small, and
+    /// re-keying a request (prefetch→demand upgrade) moves a `u32`, not
+    /// the whole struct.
+    reqq: BTreeMap<(u8, u64), u32>,
+    /// Request slab: every queued [`Request`] lives here, recycled
+    /// through [`Self::req_free`] instead of churning the allocator once
+    /// the pool reaches the queue's high-water mark (DESIGN.md §6j).
+    req_pool: Vec<Option<Request>>,
+    /// Free slots in [`Self::req_pool`].
+    req_free: Vec<u32>,
     next_seq: u64,
     /// Request-queue bound (backpressure: enqueuers wait when full).
     pub reqq_cap: usize,
@@ -356,6 +575,8 @@ impl EngineQueues {
     pub fn new() -> EngineQueues {
         EngineQueues {
             reqq: BTreeMap::new(),
+            req_pool: Vec::new(),
+            req_free: Vec::new(),
             next_seq: 0,
             reqq_cap: 64,
             devq: VecDeque::new(),
@@ -404,6 +625,58 @@ impl EngineQueues {
         self.reqq.len()
     }
 
+    /// Parks `req` in the pool, preferring a recycled slot.
+    fn alloc_req(&mut self, req: Request) -> u32 {
+        match self.req_free.pop() {
+            Some(i) => {
+                debug_assert!(self.req_pool[i as usize].is_none());
+                self.req_pool[i as usize] = Some(req);
+                i
+            }
+            None => {
+                self.req_pool.push(Some(req));
+                (self.req_pool.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Moves a request out of the pool and recycles its slot.
+    fn take_req(&mut self, idx: u32) -> Request {
+        let req = self.req_pool[idx as usize]
+            .take()
+            .expect("queued index points at a live request slot");
+        self.req_free.push(idx);
+        req
+    }
+
+    /// The pooled request at `idx`.
+    fn req(&self, idx: u32) -> &Request {
+        self.req_pool[idx as usize]
+            .as_ref()
+            .expect("queued index points at a live request slot")
+    }
+
+    /// The pooled request at `idx`, mutably.
+    fn req_mut(&mut self, idx: u32) -> &mut Request {
+        self.req_pool[idx as usize]
+            .as_mut()
+            .expect("queued index points at a live request slot")
+    }
+
+    /// Pool slots ever materialized — the queue-depth high-water mark,
+    /// after which every push recycles (test/bench observability).
+    #[allow(dead_code)]
+    pub(crate) fn req_pool_slots(&self) -> usize {
+        self.req_pool.len()
+    }
+
+    /// The queued request under `key`, mutably (test hook).
+    #[cfg(test)]
+    fn queued_mut(&mut self, key: (u8, u64)) -> &mut Request {
+        let idx = *self.reqq.get(&key).expect("key is queued");
+        self.req_mut(idx)
+    }
+
     pub fn reqq_full(&self) -> bool {
         self.reqq.len() >= self.reqq_cap
     }
@@ -421,7 +694,9 @@ impl EngineQueues {
             self.pending_fetch
                 .insert(seg, (seq, req.span, req.ticket.clone()));
         }
-        self.reqq.insert((req.class as u8, seq), req);
+        let class = req.class as u8;
+        let idx = self.alloc_req(req);
+        self.reqq.insert((class, seq), idx);
         seq
     }
 
@@ -446,14 +721,18 @@ impl EngineQueues {
         let Some(seq) = self.pending_fetch.get(&seg).map(|&(s, _, _)| s) else {
             return;
         };
-        if let Some(mut req) = self.reqq.remove(&(ReqClass::Prefetch as u8, seq)) {
+        if let Some(idx) = self.reqq.remove(&(ReqClass::Prefetch as u8, seq)) {
+            // Re-keying moves only the slot index; the request upgrades
+            // in place in the pool.
+            let req = self.req_mut(idx);
             req.class = ReqClass::Demand;
             req.mode = Some(FetchMode::Demand);
             req.demand_enq = Some(req.demand_enq.map_or(demand_at, |t| t.min(demand_at)));
-            self.reqq.insert((ReqClass::Demand as u8, seq), req);
+            self.reqq.insert((ReqClass::Demand as u8, seq), idx);
             return;
         }
-        if let Some(req) = self.reqq.get_mut(&(ReqClass::Demand as u8, seq)) {
+        if let Some(&idx) = self.reqq.get(&(ReqClass::Demand as u8, seq)) {
+            let req = self.req_mut(idx);
             req.demand_enq = Some(req.demand_enq.map_or(demand_at, |t| t.min(demand_at)));
             return;
         }
@@ -480,7 +759,8 @@ impl EngineQueues {
     /// matter — each is failed in priority order.
     pub fn pop_any(&mut self) -> Option<Request> {
         let key = self.reqq.keys().next().copied()?;
-        self.reqq.remove(&key)
+        let idx = self.reqq.remove(&key).expect("key just observed");
+        Some(self.take_req(idx))
     }
 
     /// `true` while the device queue has [`QOS_HEADROOM`] or fewer free
@@ -502,20 +782,23 @@ impl EngineQueues {
     /// [`TENANT_BOUND`] starvation guard.
     fn note_deferred(&mut self, keys: &[(u8, u64)], admitted: bool) {
         for &k in keys {
-            let Some(r) = self.reqq.get_mut(&k) else { continue };
+            let Some(&idx) = self.reqq.get(&k) else { continue };
+            let r = self.req_mut(idx);
             if admitted {
                 r.passed += 1;
             }
-            if !r.throttled {
-                r.throttled = true;
-                self.tenant_throttles += 1;
-                if let Some(t) = r.tenant {
-                    self.tenant_events.push(TenantEvent::Throttle {
-                        tenant: t,
-                        class: r.class,
-                        span: r.span,
-                    });
-                }
+            if r.throttled {
+                continue;
+            }
+            r.throttled = true;
+            let event = r.tenant.map(|t| TenantEvent::Throttle {
+                tenant: t,
+                class: r.class,
+                span: r.span,
+            });
+            self.tenant_throttles += 1;
+            if let Some(ev) = event {
+                self.tenant_events.push(ev);
             }
         }
     }
@@ -534,7 +817,8 @@ impl EngineQueues {
     /// among its current competitors — no credit accrues while absent.
     fn fair_pick(&mut self, class: u8, head_seq: u64, now: SimTime) -> (u8, u64) {
         let mut cands: Vec<(u64, TenantId, u32)> = Vec::new();
-        for (&(_, seq), r) in self.reqq.range((class, head_seq)..=(class, u64::MAX)) {
+        for (&(_, seq), &idx) in self.reqq.range((class, head_seq)..=(class, u64::MAX)) {
+            let r = self.req(idx);
             if r.enqueued_at > now {
                 continue;
             }
@@ -581,7 +865,8 @@ impl EngineQueues {
         let congested = self.devq_congested();
         let mut head: Option<(u8, u64)> = None;
         let mut held: Vec<(u8, u64)> = Vec::new();
-        for (&key, r) in self.reqq.iter() {
+        for (&key, &idx) in self.reqq.iter() {
+            let r = self.req(idx);
             if r.enqueued_at > now {
                 continue;
             }
@@ -599,7 +884,7 @@ impl EngineQueues {
             return None;
         };
         let (class, head_seq) = key;
-        let pick = if self.reqq[&key].tenant.is_some() {
+        let pick = if self.req(self.reqq[&key]).tenant.is_some() {
             self.fair_pick(class, head_seq, now)
         } else {
             key
@@ -609,12 +894,16 @@ impl EngineQueues {
             deferred.extend(
                 self.reqq
                     .range((class, head_seq)..(class, pick.1))
-                    .filter(|(_, r)| r.enqueued_at <= now && r.tenant.is_some())
+                    .filter(|&(_, &idx)| {
+                        let r = self.req(idx);
+                        r.enqueued_at <= now && r.tenant.is_some()
+                    })
                     .map(|(&k, _)| k),
             );
         }
         self.note_deferred(&deferred, true);
-        let req = self.reqq.remove(&pick).expect("the picked key is present");
+        let idx = self.reqq.remove(&pick).expect("the picked key is present");
+        let req = self.take_req(idx);
         if let Some(t) = req.tenant {
             self.tenant_admits += 1;
             self.tenant_events.push(TenantEvent::Admit {
@@ -629,7 +918,10 @@ impl EngineQueues {
     /// The earliest enqueue time among queued requests (the service
     /// process's next wake-up when nothing is ready yet).
     pub fn next_ready(&self) -> Option<SimTime> {
-        self.reqq.values().map(|r| r.enqueued_at).min()
+        self.reqq
+            .values()
+            .map(|&idx| self.req(idx).enqueued_at)
+            .min()
     }
 
     /// Volume-affinity dispatch: takes the device-queue op an idle lane
@@ -957,7 +1249,7 @@ mod tests {
         q.push(treq(1, ReqClass::Demand, 2, 0)); // seq 1
         // On a pass tie tenant 1 would win (lower id) — but tenant 2's
         // request has hit the starvation bound and must go first.
-        q.reqq.get_mut(&(ReqClass::Demand as u8, 0)).unwrap().passed = TENANT_BOUND;
+        q.queued_mut((ReqClass::Demand as u8, 0)).passed = TENANT_BOUND;
         let r = q.pop_ready(0).unwrap();
         assert_eq!(r.tenant, Some(2), "starved request beats the stride pick");
         assert_eq!(q.tenant_promotions, 1);
@@ -1007,6 +1299,72 @@ mod tests {
         assert_eq!(q.tenant_admits, 0);
         assert_eq!(q.tenant_throttles, 0);
         assert!(q.take_tenant_events().is_empty());
+    }
+
+    #[test]
+    fn ticket_slab_recycles_slots() {
+        let before = ticket_slab_stats();
+        // Sequential tickets reuse one slot: after the first, every
+        // creation is a recycle and the slab never grows.
+        let t = Ticket::new();
+        let first_slots = ticket_slab_stats().slots;
+        drop(t);
+        for _ in 0..100 {
+            let t = Ticket::new();
+            t.complete(Outcome::Eject(true));
+            assert!(t.eject_result());
+        }
+        let after = ticket_slab_stats();
+        assert_eq!(after.allocs - before.allocs, 101);
+        assert!(
+            after.recycles - before.recycles >= 100,
+            "sequential tickets must be served from the free list"
+        );
+        assert_eq!(after.slots, first_slots, "slab must not grow");
+        assert_eq!(after.live, before.live);
+    }
+
+    #[test]
+    fn coalesced_clones_share_one_slot_and_outcome() {
+        let t = Ticket::new();
+        let live0 = ticket_slab_stats().live;
+        let a = t.clone();
+        let b = a.clone();
+        assert_eq!(ticket_slab_stats().live, live0, "clones add no slots");
+        t.complete(Outcome::Fetch(Ok((7, 99))));
+        assert!(a.is_done() && b.is_done());
+        assert_eq!(b.fetch_result().unwrap(), (7, 99));
+        drop(t);
+        drop(a);
+        assert!(b.is_done(), "slot lives until the last handle drops");
+        drop(b);
+        assert_eq!(ticket_slab_stats().live, live0 - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale ticket handle")]
+    fn stale_ticket_handles_panic_deterministically() {
+        let t = Ticket::new();
+        let survivor = t.clone();
+        t.invalidate_for_test();
+        drop(t); // stale drop is silent …
+        survivor.is_done(); // … but a stale *access* is a loud bug
+    }
+
+    #[test]
+    fn request_pool_stops_growing_at_the_queue_high_water_mark() {
+        let mut q = EngineQueues::new();
+        for round in 0..10 {
+            for i in 0..8 {
+                q.push(req(ReqClass::Demand, i, 0));
+            }
+            while q.pop_ready(0).is_some() {}
+            assert_eq!(
+                q.req_pool_slots(),
+                8,
+                "round {round}: pool must recycle, not grow"
+            );
+        }
     }
 
     #[test]

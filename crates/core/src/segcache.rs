@@ -11,13 +11,17 @@
 //! "a static upper limit (selected when the file system is created) is
 //! placed on the number of disk segments that may be in use for
 //! caching"). The cache directory is "a simple hash table indexed by
-//! [the tertiary] segment number" (§6.3).
-
-use std::collections::HashMap;
+//! [the tertiary] segment number" (§6.3) — literally so since the
+//! hot-path pass: an open-addressed [`SegDir`] (Fibonacci hash + linear
+//! probing) replaces the std `HashMap`, cutting the per-translation
+//! lookup to one multiply and a short sequential probe, with
+//! deterministic iteration order as a bonus.
 
 use hl_lfs::types::SegNo;
 use hl_sim::time::SimTime;
 use hl_sim::DetRng;
+
+use crate::segdir::SegDir;
 
 /// The state of one cache line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,7 +105,7 @@ pub struct SegCache {
     /// Free (unoccupied) pool entries.
     free: Vec<SegNo>,
     /// Cache directory: tertiary segment → line.
-    dir: HashMap<SegNo, CacheLine>,
+    dir: SegDir<CacheLine>,
     policy: EjectPolicy,
     rng: DetRng,
     stats: CacheStats,
@@ -133,7 +137,7 @@ impl SegCache {
         SegCache {
             free: pool.clone(),
             pool,
-            dir: HashMap::new(),
+            dir: SegDir::new(),
             policy,
             rng: DetRng::new(seed),
             stats: CacheStats::default(),
@@ -197,7 +201,7 @@ impl SegCache {
         }
         self.free.retain(|&s| s != disk_seg);
         self.note_time(fetched_at);
-        let from = match self.dir.get(&tert_seg) {
+        let from = match self.dir.get(tert_seg) {
             Some(line) => tag(line.state),
             None => hl_trace::LineTag::Empty,
         };
@@ -233,14 +237,14 @@ impl SegCache {
 
     /// Directory lookup *without* touching LRU state (for inspection).
     pub fn peek(&self, tert_seg: SegNo) -> Option<&CacheLine> {
-        self.dir.get(&tert_seg)
+        self.dir.get(tert_seg)
     }
 
     /// Directory lookup, recording a hit/miss and refreshing recency.
     /// Touches count per access episode, not per block translation.
     pub fn lookup(&mut self, tert_seg: SegNo, now: SimTime) -> Option<CacheLine> {
         self.note_time(now);
-        match self.dir.get_mut(&tert_seg) {
+        match self.dir.get_mut(tert_seg) {
             Some(line) => {
                 if now >= line.last_used + EPISODE_GAP {
                     line.touches += 1;
@@ -271,7 +275,7 @@ impl SegCache {
         state: LineState,
         now: SimTime,
     ) -> Option<(SegNo, Option<SegNo>)> {
-        debug_assert!(!self.dir.contains_key(&tert_seg), "already cached");
+        debug_assert!(!self.dir.contains_key(tert_seg), "already cached");
         self.note_time(now);
         let (disk_seg, ejected) = if let Some(d) = self.free.pop() {
             (d, None)
@@ -280,7 +284,7 @@ impl SegCache {
                 self.stats.stalls += 1;
                 return None;
             };
-            let line = self.dir.remove(&victim).expect("victim listed");
+            let line = self.dir.remove(victim).expect("victim listed");
             self.stats.ejections += 1;
             self.trace_line(now, victim, tag(line.state), hl_trace::LineTag::Empty);
             (line.disk_seg, Some(victim))
@@ -342,7 +346,7 @@ impl SegCache {
 
     /// Ejects a specific line, returning its disk segment to the pool.
     pub fn eject(&mut self, tert_seg: SegNo) -> Option<CacheLine> {
-        let line = self.dir.remove(&tert_seg)?;
+        let line = self.dir.remove(tert_seg)?;
         self.free.push(line.disk_seg);
         self.stats.ejections += 1;
         self.trace_line(
@@ -358,7 +362,7 @@ impl SegCache {
     /// migrator seals it, `DirtyWait` → `Clean` once the I/O server has
     /// copied it out).
     pub fn set_state(&mut self, tert_seg: SegNo, state: LineState) {
-        let transition = match self.dir.get_mut(&tert_seg) {
+        let transition = match self.dir.get_mut(tert_seg) {
             Some(line) if line.state != state => {
                 let from = line.state;
                 line.state = state;
@@ -376,7 +380,7 @@ impl SegCache {
     /// never counts as a "repeated access".
     pub fn set_ready_at(&mut self, tert_seg: SegNo, ready_at: SimTime) {
         self.note_time(ready_at);
-        if let Some(line) = self.dir.get_mut(&tert_seg) {
+        if let Some(line) = self.dir.get_mut(tert_seg) {
             line.ready_at = ready_at;
             line.last_used = line.last_used.max(ready_at);
         }
@@ -385,7 +389,7 @@ impl SegCache {
     /// Re-keys a staging line onto a different tertiary segment
     /// (end-of-medium relocation, §6.3).
     pub fn rekey(&mut self, old_tert: SegNo, new_tert: SegNo) {
-        if let Some(mut line) = self.dir.remove(&old_tert) {
+        if let Some(mut line) = self.dir.remove(old_tert) {
             line.tert_seg = new_tert;
             self.dir.insert(new_tert, line);
             if let Some(t) = &self.tracer {

@@ -115,6 +115,11 @@ pub struct Lfs {
     /// would touch next. Clustered read-ahead engages only when a miss
     /// matches the hint (real 4.4BSD clustering detects sequentiality).
     pub(crate) seq_hint: HashMap<Ino, u32>,
+    /// Reusable cluster-read staging buffer: a read miss stages its
+    /// (up to 16-block) cluster here instead of allocating a fresh
+    /// vector per miss. Taken/restored around the device read, so the
+    /// buffer never aliases a second reader.
+    pub(crate) read_scratch: Vec<u8>,
 }
 
 impl Lfs {
@@ -251,6 +256,7 @@ impl Lfs {
             stats: LfsStats::default(),
             writing: false,
             seq_hint: HashMap::new(),
+            read_scratch: Vec::new(),
         }
     }
 
@@ -335,13 +341,22 @@ impl Lfs {
     // Raw, timed device access.
     // -----------------------------------------------------------------
 
+    /// Timed read of whole device blocks at `addr` directly into `buf`
+    /// (zero-copy staging: migration assembles its segment image in
+    /// place instead of bouncing every block through a fresh vector).
+    pub(crate) fn read_raw_into(&mut self, addr: BlockAddr, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len() % BLOCK_SIZE, 0, "whole blocks only");
+        let slot = self.dev.read(self.cfg.clock.now(), addr as u64, buf)?;
+        self.cfg.clock.advance_to(slot.end);
+        self.stats.dev_reads += 1;
+        self.stats.blocks_read += (buf.len() / BLOCK_SIZE) as u64;
+        Ok(())
+    }
+
     /// Timed read of `count` device blocks at `addr`.
     pub(crate) fn read_raw(&mut self, addr: BlockAddr, count: u32) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; count as usize * BLOCK_SIZE];
-        let slot = self.dev.read(self.cfg.clock.now(), addr as u64, &mut buf)?;
-        self.cfg.clock.advance_to(slot.end);
-        self.stats.dev_reads += 1;
-        self.stats.blocks_read += count as u64;
+        self.read_raw_into(addr, &mut buf)?;
         Ok(buf)
     }
 
@@ -657,7 +672,15 @@ impl Lfs {
             }
             run += 1;
         }
-        let buf = self.read_raw(addr, run)?;
+        // Stage the cluster in the reusable scratch buffer (taken so the
+        // device read can borrow `self`), then hand each block to the
+        // cache; only the per-block cache copies remain.
+        let mut buf = std::mem::take(&mut self.read_scratch);
+        buf.resize(run as usize * BLOCK_SIZE, 0);
+        if let Err(e) = self.read_raw_into(addr, &mut buf) {
+            self.read_scratch = buf;
+            return Err(e);
+        }
         self.charge_cpu(self.cfg.cpu.read_block * run as u64);
         for i in 0..run {
             let start = i as usize * BLOCK_SIZE;
@@ -669,6 +692,7 @@ impl Lfs {
                 addr + i,
             );
         }
+        self.read_scratch = buf;
         if run > 1 {
             self.stats.cache_misses += (run - 1) as u64;
         }

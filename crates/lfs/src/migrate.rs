@@ -248,12 +248,13 @@ impl Lfs {
         // them directly from the disk device into memory" (§6.7).
         let mut image = vec![0u8; (1 + nblocks) * BLOCK_SIZE];
         for (i, &(ino, lb, old_addr)) in blocks.iter().enumerate() {
-            let dst_range = (1 + i) * BLOCK_SIZE..(2 + i) * BLOCK_SIZE;
+            let dst = &mut image[(1 + i) * BLOCK_SIZE..(2 + i) * BLOCK_SIZE];
             if let Some(b) = self.cache.get(ino, lb) {
-                image[dst_range].copy_from_slice(&b.data);
+                dst.copy_from_slice(&b.data);
             } else {
-                let data = self.read_raw(old_addr, 1)?;
-                image[dst_range].copy_from_slice(&data);
+                // Zero-copy: the device reads straight into the image
+                // slice — no per-block vector, no intermediate memcpy.
+                self.read_raw_into(old_addr, dst)?;
             }
         }
 

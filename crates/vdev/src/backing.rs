@@ -3,8 +3,53 @@
 //! HighLight address spaces span terabytes (the Metrum robot alone holds
 //! ≈9 TB), so backing store must be sparse: blocks that were never written
 //! read back as zeros and cost nothing.
+//!
+//! The block index hashes with a fixed multiplicative mixer
+//! ([`BlockHashBuilder`]) instead of the std `RandomState`/SipHash
+//! default: block numbers are trusted simulator-internal integers (no
+//! HashDoS surface), every resident-block probe sits under the device
+//! hot path, and a seeded hasher would make map iteration order — and
+//! thus allocator behaviour — differ run to run. One multiply and a
+//! xor-shift replace a full SipHash round per probe.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// [`Hasher`] for small trusted integer keys: SplitMix64-style finalizer
+/// over the written words. Deterministic across runs and processes.
+#[derive(Default)]
+pub struct BlockHasher(u64);
+
+impl Hasher for BlockHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut x = self.0 ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        self.0 = x ^ (x >> 27);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a): only hit for non-integer keys.
+        let mut h = self.0 ^ 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Zero-state [`std::hash::BuildHasher`] for [`BlockHasher`].
+pub type BlockHashBuilder = BuildHasherDefault<BlockHasher>;
 
 /// A sparse store of fixed-size blocks.
 ///
@@ -22,7 +67,7 @@ use std::collections::HashMap;
 #[derive(Clone, Debug)]
 pub struct SparseStore {
     block_size: usize,
-    blocks: HashMap<u64, Box<[u8]>>,
+    blocks: HashMap<u64, Box<[u8]>, BlockHashBuilder>,
 }
 
 impl SparseStore {
@@ -35,7 +80,7 @@ impl SparseStore {
         assert!(block_size > 0, "block size must be positive");
         Self {
             block_size,
-            blocks: HashMap::new(),
+            blocks: HashMap::default(),
         }
     }
 

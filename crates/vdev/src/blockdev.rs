@@ -76,13 +76,25 @@ pub(crate) fn check_io(
     block: u64,
     buf_len: usize,
 ) -> Result<u64, DevError> {
-    if buf_len == 0 || !buf_len.is_multiple_of(block_size) {
+    // Block sizes are powers of two in practice; mask-and-shift keeps
+    // the runtime `div`/`mod` (20+ cycles each) off the per-I/O path.
+    let (misaligned, count) = if block_size.is_power_of_two() {
+        (
+            buf_len & (block_size - 1) != 0,
+            (buf_len >> block_size.trailing_zeros()) as u64,
+        )
+    } else {
+        (
+            !buf_len.is_multiple_of(block_size),
+            (buf_len / block_size) as u64,
+        )
+    };
+    if buf_len == 0 || misaligned {
         return Err(DevError::BadBuffer {
             expected: block_size.max(buf_len.next_multiple_of(block_size.max(1))),
             got: buf_len,
         });
     }
-    let count = (buf_len / block_size) as u64;
     if block.checked_add(count).is_none() || block + count > nblocks {
         return Err(DevError::OutOfRange {
             block,

@@ -54,12 +54,19 @@ struct Inner {
     profile: DiskProfile,
     nblocks: u64,
     write_once: bool,
+    /// Geometry constant, duplicated out of the store so the per-I/O
+    /// validation path does not borrow the `RefCell` to read it.
+    block_size: usize,
     store: RefCell<SparseStore>,
     arm: Resource,
     arm_pos: Cell<u64>,
     bus: Option<ScsiBus>,
     stats: RefCell<DiskStats>,
     faults: RefCell<FaultPlan>,
+    /// Fast-path mirror of "any fault is armed": lets the per-I/O check
+    /// skip borrowing `faults` entirely on healthy disks (the common
+    /// case for every benchmark and most tests).
+    any_faults: Cell<bool>,
 }
 
 /// A simulated disk (or an optical platter loaded in a drive).
@@ -119,12 +126,14 @@ impl Disk {
                 profile,
                 nblocks,
                 write_once,
+                block_size,
                 store: RefCell::new(SparseStore::new(block_size)),
                 arm: Resource::new(profile.name),
                 arm_pos: Cell::new(0),
                 bus,
                 stats: RefCell::new(DiskStats::default()),
                 faults: RefCell::new(FaultPlan::default()),
+                any_faults: Cell::new(false),
             }),
         }
     }
@@ -152,16 +161,19 @@ impl Disk {
     /// Injects an unrecoverable read error at `block`.
     pub fn inject_bad_block(&self, block: u64) {
         self.inner.faults.borrow_mut().bad_blocks.insert(block);
+        self.inner.any_faults.set(true);
     }
 
     /// Fails the entire medium: all subsequent I/O errors out.
     pub fn fail_media(&self) {
         self.inner.faults.borrow_mut().media_failed = true;
+        self.inner.any_faults.set(true);
     }
 
     /// Clears all injected faults.
     pub fn clear_faults(&self) {
         *self.inner.faults.borrow_mut() = FaultPlan::default();
+        self.inner.any_faults.set(false);
     }
 
     /// Number of blocks ever written (for space accounting in tests).
@@ -170,11 +182,17 @@ impl Disk {
     }
 
     fn check_faults(&self, block: u64, count: u64, reading: bool) -> Result<(), DevError> {
+        if !self.inner.any_faults.get() {
+            return Ok(());
+        }
         let faults = self.inner.faults.borrow();
         if faults.media_failed {
             return Err(DevError::MediaFailure);
         }
-        if reading {
+        // Guard the per-block scan: almost no run has injected faults,
+        // and a 256-block segment read would otherwise pay 256 set
+        // probes to learn that.
+        if reading && !faults.bad_blocks.is_empty() {
             for b in block..block + count {
                 if faults.bad_blocks.contains(&b) {
                     return Err(DevError::ReadError { block: b });
@@ -237,7 +255,10 @@ impl BlockDev for Disk {
     }
 
     fn block_size(&self) -> usize {
-        self.inner.store.borrow().block_size()
+        // Cached copy: `block_size()` sits on the per-I/O validation
+        // path, and borrowing the store `RefCell` for an immutable
+        // geometry constant costs real nanoseconds there.
+        self.inner.block_size
     }
 
     fn read(&self, at: SimTime, block: u64, buf: &mut [u8]) -> Result<IoSlot, DevError> {

@@ -1,0 +1,201 @@
+//! Property suite for the resident hot-path optimizations (DESIGN.md
+//! §6j): every raw-speed structure must be *behaviour-identical* to the
+//! slow reference it replaced.
+//!
+//! - The Bloom-guarded [`ReplicaSet`] must never produce a false
+//!   negative versus a plain `HashMap` reference directory, under any
+//!   interleaving of `add` / `forget` / `forget_volume` (each forget
+//!   rebuilds the filter — the "scrub" path).
+//! - The slab-allocated [`Ticket`] must lose no wakeups: any clone of a
+//!   completed ticket observes the outcome, and slot recycling is
+//!   bounded by peak concurrency.
+//! - The open-addressed [`SegDir`] must agree with a `HashMap` oracle
+//!   under random fill / eject / rekey churn (the segment cache's op
+//!   mix), including tombstone-heavy histories.
+
+use std::collections::HashMap;
+
+use highlight::{Bloom, ReplicaSet, SegDir, Ticket, UniformMap};
+use proptest::prelude::*;
+
+/// A small uniform map: 8 disk segments, 4 volumes × 16 slots. Tertiary
+/// segment numbers start at `nsegs_disk`.
+fn tiny_map() -> UniformMap {
+    UniformMap::new(2, 16, 8, 4, 16)
+}
+
+/// Reference replica directory: the `HashMap<SegNo, Vec<(vol, slot)>>`
+/// the Bloom-guarded set replaced.
+#[derive(Default)]
+struct RefDir {
+    extra: HashMap<u32, Vec<(u32, u32)>>,
+}
+
+impl RefDir {
+    fn add(&mut self, seg: u32, vol: u32, slot: u32) {
+        let homes = self.extra.entry(seg).or_default();
+        if !homes.contains(&(vol, slot)) {
+            homes.push((vol, slot));
+        }
+    }
+    fn forget(&mut self, seg: u32) {
+        self.extra.remove(&seg);
+    }
+    fn forget_volume(&mut self, vol: u32) {
+        for homes in self.extra.values_mut() {
+            homes.retain(|&(v, _)| v != vol);
+        }
+        self.extra.retain(|_, h| !h.is_empty());
+    }
+    fn extras(&self, seg: u32) -> Vec<(u32, u32)> {
+        self.extra.get(&seg).cloned().unwrap_or_default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random add/forget/forget_volume histories: the Bloom guard may
+    /// skip directory probes, but `homes` must stay exactly equal to
+    /// the reference — in particular, never a false negative.
+    #[test]
+    fn bloom_guarded_replicas_never_false_negative(
+        ops in prop::collection::vec((0u8..4, 0u32..64, 0u32..4, 0u32..16), 1..200),
+    ) {
+        let map = tiny_map();
+        let mut fast = ReplicaSet::new();
+        let mut slow = RefDir::default();
+        for (kind, seg_off, vol, slot) in ops {
+            // Tertiary segment numbers live above the disk range.
+            let seg = map.nsegs_disk + seg_off;
+            match kind {
+                0 | 1 => {
+                    fast.add(seg, vol, slot);
+                    slow.add(seg, vol, slot);
+                }
+                2 => {
+                    fast.forget(seg);
+                    slow.forget(seg);
+                }
+                _ => {
+                    fast.forget_volume(vol);
+                    slow.forget_volume(vol);
+                }
+            }
+            // Primary home comes from the address map for both sides;
+            // compare the extras directly.
+            let got: Vec<(u32, u32)> = fast
+                .homes(&map, seg)
+                .iter()
+                .copied()
+                .filter(|&h| Some(h) != map.vol_slot(seg))
+                .collect();
+            prop_assert_eq!(&got, &slow.extras(seg), "extras diverged for seg {}", seg);
+            // No false negatives anywhere, not just the touched key.
+            for (&s, homes) in &slow.extra {
+                prop_assert_eq!(
+                    !homes.is_empty(),
+                    fast.has_extras(s),
+                    "false negative for seg {}", s
+                );
+            }
+        }
+    }
+
+    /// The filter itself: forgetting keys (rebuild) must never forget a
+    /// *kept* key.
+    #[test]
+    fn bloom_rebuild_keeps_every_surviving_key(
+        raw_keys in prop::collection::vec(0u64..10_000, 1..256),
+        drop_mod in 2u64..7,
+    ) {
+        let mut keys = raw_keys;
+        keys.sort_unstable();
+        keys.dedup();
+        let mut filter = Bloom::with_capacity(keys.len(), 16, 0x6a);
+        for &k in &keys {
+            filter.insert(k);
+        }
+        let kept: Vec<u64> = keys.iter().copied().filter(|k| k % drop_mod != 0).collect();
+        filter.rebuild(kept.iter().copied());
+        for &k in &kept {
+            prop_assert!(filter.maybe_contains(k), "false negative after rebuild: {}", k);
+        }
+    }
+
+    /// N tickets with random clone fan-out and completion order: every
+    /// observer of a completed ticket sees the outcome (zero lost
+    /// wakeups), and the slab's live count returns to baseline.
+    #[test]
+    fn ticket_slab_loses_no_wakeups(
+        fanout in prop::collection::vec(1usize..5, 1..64),
+        complete_first in any::<bool>(),
+    ) {
+        use highlight::{ticket_slab_stats, Outcome};
+        let live0 = ticket_slab_stats().live;
+        let mut all: Vec<(Ticket, Vec<Ticket>)> = Vec::new();
+        for (i, &n) in fanout.iter().enumerate() {
+            let t = Ticket::new();
+            let clones: Vec<Ticket> = (0..n).map(|_| t.clone()).collect();
+            if complete_first || i % 2 == 0 {
+                t.complete_for_test(Outcome::Eject(i % 3 == 0));
+            }
+            all.push((t, clones));
+        }
+        for (i, (t, clones)) in all.iter().enumerate() {
+            if !t.is_done() {
+                t.complete_for_test(Outcome::Eject(i % 3 == 0));
+            }
+            for c in clones {
+                prop_assert!(c.is_done(), "clone lost its wakeup");
+                prop_assert_eq!(c.eject_result(), i % 3 == 0);
+            }
+        }
+        let peak = ticket_slab_stats();
+        prop_assert!(peak.live >= live0 + fanout.len());
+        drop(all);
+        let end = ticket_slab_stats();
+        prop_assert_eq!(end.live, live0, "slots must return to the free list");
+    }
+
+    /// Random fill/eject/rekey churn: the open-addressed directory and
+    /// a `HashMap` oracle must agree on every lookup, length, and the
+    /// full key set — tombstones included.
+    #[test]
+    fn segdir_matches_hashmap_oracle_under_churn(
+        ops in prop::collection::vec((0u8..4, 0u32..96, 0u32..96), 1..400),
+    ) {
+        let mut fast: SegDir<u64> = SegDir::new();
+        let mut slow: HashMap<u32, u64> = HashMap::new();
+        for (i, (kind, a, b)) in ops.into_iter().enumerate() {
+            match kind {
+                // Fill: insert/overwrite a line.
+                0 | 1 => {
+                    let v = i as u64;
+                    prop_assert_eq!(fast.insert(a, v), slow.insert(a, v));
+                }
+                // Eject: remove a line.
+                2 => {
+                    prop_assert_eq!(fast.remove(a), slow.remove(&a));
+                }
+                // Rekey: move a line to a new key (end-of-medium path).
+                _ => {
+                    let f = fast.remove(a);
+                    let s = slow.remove(&a);
+                    prop_assert_eq!(f, s);
+                    if let Some(v) = f {
+                        prop_assert_eq!(fast.insert(b, v), slow.insert(b, v));
+                    }
+                }
+            }
+            prop_assert_eq!(fast.len(), slow.len());
+            prop_assert_eq!(fast.get(a).copied(), slow.get(&a).copied());
+            prop_assert_eq!(fast.contains_key(b), slow.contains_key(&b));
+        }
+        let mut fast_keys: Vec<u32> = fast.keys().collect();
+        let mut slow_keys: Vec<u32> = slow.keys().copied().collect();
+        fast_keys.sort_unstable();
+        slow_keys.sort_unstable();
+        prop_assert_eq!(fast_keys, slow_keys);
+    }
+}

@@ -10,16 +10,30 @@
 
 use std::time::{Duration, Instant};
 
+/// One completed measurement, retained so harness-less benches can gate
+/// on the numbers and emit machine-readable reports.
+pub struct BenchResult {
+    /// The id string passed to [`Criterion::bench_function`].
+    pub id: String,
+    /// Mean wall time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Iterations timed inside the measurement window.
+    pub iters: u64,
+}
+
 /// The benchmark driver.
 pub struct Criterion {
     /// Minimum measured wall time per benchmark.
     measure_for: Duration,
+    /// Every measurement taken so far, in execution order.
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
     fn default() -> Criterion {
         Criterion {
             measure_for: Duration::from_millis(300),
+            results: Vec::new(),
         }
     }
 }
@@ -42,7 +56,22 @@ impl Criterion {
             f64::NAN
         };
         println!("{id:<45} {mean_ns:>12.1} ns/iter ({} iters)", b.iters);
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            mean_ns,
+            iters: b.iters,
+        });
         self
+    }
+
+    /// All measurements taken so far, in execution order.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The measurement for `id`, if that benchmark has run.
+    pub fn result(&self, id: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.id == id)
     }
 }
 
@@ -54,22 +83,41 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Times `routine` repeatedly until the measurement window fills.
+    /// Times `routine` over three measurement windows and keeps the
+    /// fastest one. The minimum is the right statistic for "how fast
+    /// can this code go": scheduler preemption and frequency dips only
+    /// ever inflate a window, never deflate it.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: amortise cold caches out of the measurement.
         for _ in 0..16 {
             std::hint::black_box(routine());
         }
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while start.elapsed() < self.measure_for {
-            for _ in 0..64 {
-                std::hint::black_box(routine());
+        let window = self.measure_for / 3;
+        let mut best: Option<(u64, Duration)> = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed() < window {
+                for _ in 0..64 {
+                    std::hint::black_box(routine());
+                }
+                iters += 64;
             }
-            iters += 64;
+            let elapsed = start.elapsed();
+            let better = match best {
+                None => true,
+                Some((bi, be)) => {
+                    elapsed.as_nanos() as f64 * (bi as f64)
+                        < be.as_nanos() as f64 * (iters as f64)
+                }
+            };
+            if better {
+                best = Some((iters, elapsed));
+            }
         }
+        let (iters, elapsed) = best.expect("at least one window ran");
         self.iters = iters;
-        self.elapsed = start.elapsed();
+        self.elapsed = elapsed;
     }
 }
 

@@ -477,6 +477,9 @@ macro_rules! prop_oneof {
 
 /// The common imports, mirroring `proptest::prelude`.
 pub mod prelude {
+    /// Upstream re-exports the crate root as `prop` inside the prelude
+    /// (`prop::collection::vec(...)` in test bodies).
+    pub use crate as prop;
     pub use crate::arbitrary::any;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
